@@ -1,0 +1,67 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark measures *simulation speed* -- how many simulated clock
+cycles (or instructions) per second of host time a given model style
+achieves -- which is exactly the paper's Figure 2 metric.  Absolute numbers
+depend on the host (and on this being a Python kernel rather than C++
+SystemC); the quantities compared across benchmarks are the ratios.
+
+The helpers build platforms with a scaled-down boot workload so a full
+benchmark run finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import VanillaNetPlatform, VariantName, variant_config
+from repro.software import BootParams, build_boot_program
+
+#: Boot workload used by the figure-2 benchmarks (small but representative).
+BENCH_BOOT_PARAMS = BootParams(
+    bss_bytes=192, kernel_copy_bytes=256, page_clear_bytes=128,
+    page_clear_count=1, rootfs_copy_bytes=128, checksum_words=32,
+    progress_dots=2, timer_ticks=1, timer_period_cycles=500,
+    device_probe_rounds=2)
+
+#: Instruction budget of one measured benchmark round.
+INSTRUCTIONS_PER_ROUND = 250
+
+#: Cycle budget of one measured RTL benchmark round.
+RTL_CYCLES_PER_ROUND = 400
+
+
+def build_variant_platform(variant: VariantName) -> VanillaNetPlatform:
+    """A platform in the given Figure 2 configuration with the boot loaded."""
+    platform = VanillaNetPlatform(variant_config(variant))
+    platform.load_program(build_boot_program(BENCH_BOOT_PARAMS))
+    # Warm up: get past the very first instructions so each measured round
+    # samples steady-state boot activity.
+    platform.run_instructions(30, chunk_cycles=200)
+    return platform
+
+
+def run_instruction_window(platform: VanillaNetPlatform,
+                           budget: int = INSTRUCTIONS_PER_ROUND) -> int:
+    """Advance the platform by ``budget`` instructions; return cycles used."""
+    return platform.run_instructions(budget, chunk_cycles=200)
+
+
+def record_speed(benchmark, platform: VanillaNetPlatform,
+                 cycles_total: int) -> None:
+    """Attach CPS/CPI numbers to the benchmark's extra info."""
+    stats = platform.statistics
+    mean_seconds = benchmark.stats.stats.mean if benchmark.stats else 0.0
+    if mean_seconds > 0 and benchmark.stats.stats.rounds > 0:
+        cycles_per_round = cycles_total / benchmark.stats.stats.rounds
+        benchmark.extra_info["cps_khz"] = round(
+            cycles_per_round / mean_seconds / 1e3, 3)
+    benchmark.extra_info["cpi"] = round(
+        stats.cycles / max(1, stats.instructions_retired), 2)
+    benchmark.extra_info["processes"] = platform.process_count()
+
+
+@pytest.fixture(scope="session")
+def bench_boot_program():
+    """The assembled benchmark boot program (shared across benchmarks)."""
+    return build_boot_program(BENCH_BOOT_PARAMS)

@@ -1,0 +1,50 @@
+"""Figure 2, bars 1-6 (E2-E6): the pin/cycle-accurate SystemC-style models.
+
+One benchmark per cycle-accurate configuration, each measuring how fast the
+synthetic uClinux boot simulates (wall time per fixed instruction budget).
+Expected shape, from the paper:
+
+* the traced initial model is roughly half the speed of the untraced one,
+* native data types are the single largest improvement (+132 % in the
+  paper),
+* threads-to-methods, reduced port reading and combined processes add only
+  a few percent each (7.6 % together).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import VariantName
+
+from conftest import (INSTRUCTIONS_PER_ROUND, build_variant_platform,
+                      record_speed, run_instruction_window)
+
+CYCLE_ACCURATE_VARIANTS = [
+    VariantName.INITIAL_TRACE,
+    VariantName.INITIAL,
+    VariantName.NATIVE_TYPES,
+    VariantName.THREADS_TO_METHODS,
+    VariantName.REDUCED_PORT_READING,
+    VariantName.REDUCED_SCHEDULING,
+]
+
+
+@pytest.mark.parametrize("variant", CYCLE_ACCURATE_VARIANTS,
+                         ids=[variant.value
+                              for variant in CYCLE_ACCURATE_VARIANTS])
+def test_cycle_accurate_variant_speed(benchmark, variant):
+    """Boot-workload simulation speed of one cycle-accurate configuration."""
+    platform = build_variant_platform(variant)
+    cycles_used = []
+
+    def run_window():
+        cycles_used.append(run_instruction_window(platform,
+                                                  INSTRUCTIONS_PER_ROUND))
+
+    benchmark.pedantic(run_window, rounds=3, iterations=1, warmup_rounds=0)
+    record_speed(benchmark, platform, sum(cycles_used))
+    # Cycle-accurate sanity: every instruction costs several bus cycles.
+    stats = platform.statistics
+    assert stats.cycles >= stats.instructions_retired
+    assert platform.config.is_cycle_accurate

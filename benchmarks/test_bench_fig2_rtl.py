@@ -1,0 +1,36 @@
+"""Figure 2, bar 0 (E1): RTL HDL baseline simulation speed.
+
+The paper measured ModelSim simulating the EDK netlist at 167 Hz; a full
+uClinux boot would take 1 month 15 days, so (like the paper) the RTL
+baseline runs a "simpler program".  This benchmark measures how many
+simulated cycles per host second the register-transfer-level model of the
+platform achieves; the figure-2 summary benchmark compares it against the
+SystemC-style models to reproduce the 360x-10000x speed-up claims.
+"""
+
+from __future__ import annotations
+
+from repro.rtl import RtlVanillaNetSystem
+from repro.software import memory_exercise_program
+
+from conftest import RTL_CYCLES_PER_ROUND
+
+
+def test_rtl_hdl_baseline_speed(benchmark):
+    """Simulated-cycle throughput of the RTL-structured model."""
+    system = RtlVanillaNetSystem()
+    system.load_program(memory_exercise_program(region_bytes=64))
+    system.run_cycles(100)       # warm-up: fill the FSM pipeline
+
+    def run_window():
+        system.run_cycles(RTL_CYCLES_PER_ROUND)
+
+    benchmark.pedantic(run_window, rounds=3, iterations=1, warmup_rounds=0)
+    stats = system.core.stats
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["cps_khz"] = round(
+        RTL_CYCLES_PER_ROUND / mean / 1e3, 4)
+    benchmark.extra_info["cpi"] = round(
+        stats.cycles / max(1, stats.instructions_retired), 2)
+    benchmark.extra_info["processes"] = system.process_count()
+    assert system.process_count() > 60

@@ -1,0 +1,61 @@
+"""Figure 2 summary (E14): the complete reproduced figure and its claims.
+
+Runs the full experiment harness over every Figure 2 configuration (RTL
+baseline plus the ten SystemC-style variants), prints the reproduced table
+next to the paper's numbers, writes it to ``figure2_reproduction.txt`` in
+the repository root, and asserts the paper's qualitative claims (the "shape
+checks"): SystemC is orders of magnitude faster than RTL, native data types
+are the big cycle-accurate win, the later cycle-accurate tweaks are small,
+the dispatcher steps cut boot time, and kernel-function capture roughly
+halves it again.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core import ExperimentOptions, Figure2Experiment, build_report
+from repro.platform import VariantName
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "figure2_reproduction.txt"
+
+OPTIONS = ExperimentOptions(instructions_per_phase=200, phases=3,
+                            rtl_cycles_per_phase=800, boot_scale=0.4,
+                            chunk_cycles=200)
+
+
+def test_figure2_full_reproduction(benchmark):
+    """Measure every Figure 2 configuration and check the paper's claims."""
+    experiment = Figure2Experiment(OPTIONS)
+
+    def run_everything():
+        return experiment.run(list(VariantName))
+
+    results = benchmark.pedantic(run_everything, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    report = build_report(results)
+
+    table = report.format_table()
+    summary = report.summary_lines()
+    checks = report.shape_checks()
+    output = "\n".join([
+        "Figure 2 reproduction (measured on this host, scaled boot "
+        "workload)", "", table, "",
+        "summary claims:", *[f"  - {line}" for line in summary], "",
+        "shape checks:",
+        *[f"  - {name}: {'PASS' if ok else 'FAIL'}"
+          for name, ok in checks.items()], ""])
+    RESULTS_PATH.write_text(output)
+    print("\n" + output)
+
+    for result in results:
+        benchmark.extra_info[result.variant.value + "_cps_khz"] = round(
+            result.cps_khz, 3)
+
+    # Core qualitative claims of the paper must reproduce.
+    assert checks.get("systemc_orders_of_magnitude_faster_than_rtl", False)
+    assert checks.get("native_types_is_largest_cycle_accurate_gain", False)
+    assert checks.get("kernel_capture_roughly_halves_boot_time", False)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"

@@ -1,0 +1,92 @@
+"""Kernel-function capture (E13): the section 5.4 claims.
+
+Two measurable claims:
+
+1. roughly half of the boot instructions execute inside memset/memcpy
+   (the paper measured 52 %), and
+2. intercepting those functions roughly halves the boot time (12 minutes
+   to 6 minutes in the paper) because the intercepted instructions run in
+   zero simulation time.
+
+The benchmark runs the same boot workload with interception disabled and
+enabled on the fastest non-cycle-accurate platform configuration and
+compares cycles needed to reach the halt point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import ModelConfig, VanillaNetPlatform
+from repro.signals import DataMode
+from repro.software import BootParams, build_boot_program
+
+BOOT_PARAMS = BootParams(
+    bss_bytes=160, kernel_copy_bytes=192, page_clear_bytes=96,
+    page_clear_count=1, rootfs_copy_bytes=96, checksum_words=24,
+    progress_dots=1, timer_ticks=1, timer_period_cycles=400,
+    device_probe_rounds=1)
+
+
+def _boot_platform(capture: bool) -> VanillaNetPlatform:
+    config = ModelConfig(
+        name=f"capture={capture}", data_mode=DataMode.NATIVE,
+        use_methods=True, reduced_port_reading=True,
+        combined_processes=True, suppress_instruction_memory=True,
+        suppress_main_memory=True, gate_rare_peripherals=True,
+        kernel_function_capture=capture)
+    platform = VanillaNetPlatform(config)
+    platform.load_program(build_boot_program(BOOT_PARAMS))
+    return platform
+
+
+@pytest.mark.parametrize("capture", [False, True],
+                         ids=["without_capture", "with_capture"])
+def test_boot_with_and_without_capture(benchmark, capture):
+    """Wall time and simulated cycles of a full (scaled) boot."""
+    cycle_counts = []
+
+    def full_boot():
+        platform = _boot_platform(capture)
+        finished = platform.run_until_halt(max_cycles=900_000,
+                                           chunk_cycles=4_000)
+        assert finished
+        assert "boot complete" in platform.console_output
+        cycle_counts.append(platform.statistics.cycles)
+        return platform
+
+    platform = benchmark.pedantic(full_boot, rounds=2, iterations=1,
+                                  warmup_rounds=0)
+    stats = platform.statistics
+    benchmark.extra_info["boot_cycles"] = cycle_counts[-1]
+    benchmark.extra_info["retired"] = stats.instructions_retired
+    benchmark.extra_info["intercepted"] = stats.instructions_intercepted
+    benchmark.extra_info["interception_hits"] = stats.interception_hits
+    if capture:
+        assert stats.interception_hits >= 4          # memsets + memcpys
+        assert stats.instructions_intercepted > 0
+    else:
+        fraction = stats.function_fraction("memset", "memcpy")
+        benchmark.extra_info["memset_memcpy_fraction"] = round(fraction, 3)
+        # Paper: 52 % of boot instructions in memset/memcpy.
+        assert 0.30 <= fraction <= 0.75
+
+
+def test_capture_halves_boot_cycles(benchmark):
+    """Direct comparison of boot cycles with and without interception."""
+
+    def measure_both():
+        without = _boot_platform(False)
+        without.run_until_halt(max_cycles=900_000, chunk_cycles=4_000)
+        with_capture = _boot_platform(True)
+        with_capture.run_until_halt(max_cycles=900_000, chunk_cycles=4_000)
+        return (without.statistics.cycles, with_capture.statistics.cycles)
+
+    cycles_without, cycles_with = benchmark.pedantic(
+        measure_both, rounds=1, iterations=1, warmup_rounds=0)
+    ratio = cycles_without / max(1, cycles_with)
+    benchmark.extra_info["cycles_without_capture"] = cycles_without
+    benchmark.extra_info["cycles_with_capture"] = cycles_with
+    benchmark.extra_info["boot_cycle_ratio"] = round(ratio, 2)
+    # Paper: boot time halves (12 m 4 s -> 5 m 56 s).
+    assert ratio > 1.3

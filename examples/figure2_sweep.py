@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Figure 2 sweep: measure every model configuration and print the table.
+
+This drives the same experiment harness the benchmark suite uses, over all
+eleven Figure 2 configurations (the RTL HDL baseline plus the ten
+SystemC-style models), and prints the reproduced figure next to the paper's
+numbers together with the qualitative "shape checks".
+
+A full sweep takes a few minutes; pass ``--quick`` to measure a
+representative subset only.
+
+Run with:  python examples/figure2_sweep.py [--quick]
+"""
+
+import argparse
+
+from repro.core import ExperimentOptions, Figure2Experiment, build_report
+from repro.platform import VariantName
+
+QUICK_SUBSET = [
+    VariantName.RTL_HDL,
+    VariantName.INITIAL,
+    VariantName.NATIVE_TYPES,
+    VariantName.SUPPRESS_MAIN_MEMORY,
+    VariantName.KERNEL_FUNCTION_CAPTURE,
+]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="measure a representative subset of variants")
+    parser.add_argument("--phases", type=int, default=3,
+                        help="measurement windows per variant")
+    parser.add_argument("--instructions", type=int, default=250,
+                        help="instruction budget per window")
+    arguments = parser.parse_args()
+
+    options = ExperimentOptions(
+        instructions_per_phase=arguments.instructions,
+        phases=arguments.phases,
+        rtl_cycles_per_phase=800,
+        boot_scale=0.4)
+    experiment = Figure2Experiment(options)
+    variants = QUICK_SUBSET if arguments.quick else list(VariantName)
+
+    print(f"measuring {len(variants)} configurations "
+          f"({arguments.phases} windows x {arguments.instructions} "
+          f"instructions each) ...\n")
+    results = []
+    for variant in variants:
+        print(f"  {variant.figure2_label} ...", flush=True)
+        results.append(experiment.measure_variant(variant))
+    report = build_report(results)
+
+    print("\n" + report.format_table())
+    print("\nsummary claims (paper sections 4.6 / 5.5 / 7):")
+    for line in report.summary_lines():
+        print(f"  - {line}")
+    print("\nshape checks:")
+    for name, passed in report.shape_checks().items():
+        print(f"  - {name}: {'PASS' if passed else 'FAIL'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro -- Python reproduction of "Evaluation of SystemC Modelling of
+Reconfigurable Embedded Systems" (Rissa, Donlin, Luk -- DATE 2005).
+
+The package is organised bottom-up:
+
+* :mod:`repro.kernel`, :mod:`repro.datatypes`, :mod:`repro.signals`,
+  :mod:`repro.tracing` -- a SystemC-semantics discrete-event simulation
+  kernel (processes, delta cycles, resolved signals, VCD tracing).
+* :mod:`repro.isa`, :mod:`repro.iss` -- MicroBlaze instruction set,
+  assembler and instruction-set simulator with kernel-function
+  interception.
+* :mod:`repro.bus`, :mod:`repro.peripherals` -- the OPB/LMB buses and the
+  VanillaNet peripherals, including the memory dispatcher.
+* :mod:`repro.platform` -- the assembled platform and the eleven Figure 2
+  model configurations.
+* :mod:`repro.rtl` -- the register-transfer-level baseline.
+* :mod:`repro.software` -- MicroBlaze workloads, including the synthetic
+  uClinux boot sequence.
+* :mod:`repro.core` -- the evaluation harness reproducing Figure 2 and the
+  paper's summary claims.
+"""
+
+from .core import (ExperimentOptions, Figure2Experiment, Figure2Report,
+                   build_report)
+from .platform import (ModelConfig, VanillaNetPlatform, VariantName,
+                       variant_config)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentOptions",
+    "Figure2Experiment",
+    "Figure2Report",
+    "ModelConfig",
+    "VanillaNetPlatform",
+    "VariantName",
+    "build_report",
+    "variant_config",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Bus models: the OPB (pin/cycle accurate) and the LMB (single cycle)."""
+
+from .lmb import (BRAM_BASE_ADDRESS, BRAM_SIZE, LMB_ACCESS_CYCLES,
+                  LocalMemoryBus)
+from .opb import (DATA_MASTER, INSTRUCTION_MASTER, OpbArbiter, OpbMasterPort,
+                  OpbSlave, snoop_bus_address)
+from .signals import (OpbBusSignals, OpbInterconnect, OpbMasterSignals,
+                      coerce_bit, coerce_int, peek_int, read_bit, read_int)
+
+__all__ = [
+    "BRAM_BASE_ADDRESS",
+    "BRAM_SIZE",
+    "DATA_MASTER",
+    "INSTRUCTION_MASTER",
+    "LMB_ACCESS_CYCLES",
+    "LocalMemoryBus",
+    "OpbArbiter",
+    "OpbBusSignals",
+    "OpbInterconnect",
+    "OpbMasterPort",
+    "OpbMasterSignals",
+    "OpbSlave",
+    "coerce_bit",
+    "coerce_int",
+    "peek_int",
+    "read_bit",
+    "read_int",
+    "snoop_bus_address",
+]

@@ -1,0 +1,63 @@
+"""Local Memory Bus (LMB) and its BRAM.
+
+The MicroBlaze reaches the 8 KB block RAM through the LMB, a dedicated
+single-master single-slave bus with single-cycle access.  Because there is
+no arbitration and no multi-cycle handshake, the LMB is modelled as a
+passive object: the MicroBlaze wrapper performs the access directly and
+accounts one clock cycle for it.  (In the VanillaNet platform the BRAM only
+holds the reset/interrupt vectors and the first-stage boot code, so LMB
+traffic is a small fraction of the total -- the OPB is where the paper's
+optimisations matter.)
+"""
+
+from __future__ import annotations
+
+from ..kernel.errors import AddressError
+from ..peripherals.memory import MemoryStorage
+
+#: Default BRAM geometry of the VanillaNet platform.
+BRAM_BASE_ADDRESS = 0x0000_0000
+BRAM_SIZE = 0x2000          # 8 KB
+
+#: LMB accesses complete in a single clock cycle.
+LMB_ACCESS_CYCLES = 1
+
+
+class LocalMemoryBus:
+    """Single-cycle path between the MicroBlaze and the BRAM."""
+
+    def __init__(self, bram: MemoryStorage | None = None) -> None:
+        self.bram = bram if bram is not None else MemoryStorage(
+            "bram", BRAM_BASE_ADDRESS, BRAM_SIZE)
+        #: Access counters split by direction (statistics).
+        self.reads = 0
+        self.writes = 0
+
+    # -- routing ------------------------------------------------------------
+    def claims(self, address: int, size: int = 1) -> bool:
+        """True when the access falls inside the BRAM."""
+        return self.bram.contains(address, size)
+
+    # -- accesses (single cycle, accounted by the caller) ---------------------
+    def read(self, address: int, size: int = 4) -> int:
+        """Read through the LMB."""
+        if not self.claims(address, size):
+            raise AddressError(f"LMB access outside BRAM: {address:#010x}")
+        self.reads += 1
+        return self.bram.read(address, size)
+
+    def write(self, address: int, value: int, size: int = 4) -> None:
+        """Write through the LMB."""
+        if not self.claims(address, size):
+            raise AddressError(f"LMB access outside BRAM: {address:#010x}")
+        self.writes += 1
+        self.bram.write(address, value, size)
+
+    @property
+    def access_count(self) -> int:
+        """Total LMB transactions."""
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LocalMemoryBus(bram={self.bram.size:#x} bytes, "
+                f"accesses={self.access_count})")

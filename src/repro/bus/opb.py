@@ -1,0 +1,371 @@
+"""Pin/cycle-accurate model of the On-chip Peripheral Bus (OPB).
+
+Three cooperating pieces:
+
+* :class:`OpbArbiter` -- the bus module proper: arbitrates between the
+  instruction-side and data-side masters, drives the shared bus signals and
+  terminates the transfer when the addressed slave acknowledges.
+* :class:`OpbMasterPort` -- the master-side transaction helper used by the
+  MicroBlaze wrapper: drives the per-master signals and waits (one clock
+  cycle at a time) for grant + acknowledge.
+* :class:`OpbSlave` -- base class for every peripheral on the bus: a clocked
+  decode process that watches ``select``/``address`` every cycle (or, in
+  the "reduced scheduling 2" configuration of section 5.3, only when the
+  arbiter explicitly wakes it).
+
+A complete transfer takes a minimum of three to four clock cycles
+(request -> grant/select -> slave latency -> acknowledge), matching the
+paper's statement that an OPB instruction fetch needs "the minimum of
+three" cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datatypes import byte_lane_mask
+from ..kernel.errors import ModelError
+from ..kernel.events import Event
+from ..kernel.module import Module
+from ..kernel.scheduler import Simulator
+from ..signals.ports import InPort, OutPort
+from .signals import (OpbBusSignals, OpbInterconnect, OpbMasterSignals,
+                      coerce_bit, coerce_int, peek_int, read_bit, read_int)
+
+#: Master identifiers (value driven on ``bus.master_id``).
+INSTRUCTION_MASTER = 1
+DATA_MASTER = 2
+
+_TRANSFER_TIMEOUT_CYCLES = 1024
+
+
+class OpbMasterPort:
+    """Master-side helper that runs OPB transfers as generators.
+
+    The owning thread process must be statically sensitive to the bus clock
+    positive edge; :meth:`transfer` yields ``None`` once per clock cycle
+    while the transfer is in flight.
+    """
+
+    def __init__(self, name: str, signals: OpbMasterSignals,
+                 bus: OpbBusSignals) -> None:
+        self.name = name
+        self.signals = signals
+        self.bus = bus
+        #: Completed transfers and total cycles spent, for statistics.
+        self.transfer_count = 0
+        self.cycles_spent = 0
+
+    def transfer(self, address: int, write_value: Optional[int] = None,
+                 size: int = 4):
+        """Run one transfer; yields once per clock cycle until complete.
+
+        Returns ``(read_value, cycles)``; ``read_value`` is ``None`` for
+        writes.  Use as ``value, cycles = yield from port.transfer(...)``.
+        """
+        is_write = write_value is not None
+        signals = self.signals
+        signals.address.write(address)
+        signals.rnw.write(0 if is_write else 1)
+        signals.byte_enable.write(byte_lane_mask(address, size))
+        signals.write_data.write(write_value if is_write else 0)
+        signals.request.write(1)
+        cycles = 0
+        while True:
+            yield None
+            cycles += 1
+            if cycles > _TRANSFER_TIMEOUT_CYCLES:
+                raise ModelError(
+                    f"OPB transfer from master {self.name!r} to "
+                    f"{address:#010x} timed out after {cycles} cycles")
+            if read_bit(self.signals.grant) and read_bit(self.bus.xfer_ack):
+                break
+        read_value = None
+        if not is_write:
+            read_value = read_int(self.bus.read_data)
+        signals.request.write(0)
+        self.transfer_count += 1
+        self.cycles_spent += cycles
+        return read_value, cycles
+
+
+class OpbArbiter(Module):
+    """Bus arbiter and address/control multiplexer.
+
+    One method (or thread, per the model configuration) scheduled every
+    clock cycle.  Data-side requests win over instruction-side requests,
+    mirroring the priority MicroBlaze gives its data port.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 interconnect: OpbInterconnect, clock,
+                 use_method: bool = True,
+                 gate_rare_slaves: bool = False,
+                 register_process: bool = True) -> None:
+        super().__init__(sim, name)
+        self.interconnect = interconnect
+        self.clock = clock
+        self.gate_rare_slaves = gate_rare_slaves
+        self._busy_master: Optional[OpbMasterSignals] = None
+        self._gated_ranges: list[tuple[int, int, Event]] = []
+        #: Number of transfers granted (statistics).
+        self.transactions_granted = 0
+        #: Transfers broken down by master id.
+        self.per_master_transactions = {INSTRUCTION_MASTER: 0,
+                                        DATA_MASTER: 0}
+        self.process = None
+        if register_process:
+            self.process = self.sc_process(
+                self._arbitrate, sensitive=[clock.posedge_event()],
+                use_method=use_method, dont_initialize=True)
+
+    # -- gating support (section 5.3) ----------------------------------------
+    def register_gated_slave(self, base_address: int, size: int,
+                             wake_event: Event) -> None:
+        """Register an address range whose slave is woken explicitly."""
+        self._gated_ranges.append((base_address, base_address + size,
+                                   wake_event))
+
+    # -- the per-cycle process -------------------------------------------------
+    def _arbitrate(self) -> None:
+        bus = self.interconnect.bus
+        if read_bit(bus.reset):
+            bus.select.write(0)
+            self._busy_master = None
+            return
+        if self._busy_master is not None:
+            if read_bit(bus.xfer_ack):
+                bus.select.write(0)
+                self._busy_master.grant.write(0)
+                self._busy_master = None
+            return
+        chosen = None
+        master_id = 0
+        data_master = self.interconnect.data_master
+        instruction_master = self.interconnect.instruction_master
+        if read_bit(data_master.request):
+            chosen, master_id = data_master, DATA_MASTER
+        elif read_bit(instruction_master.request):
+            chosen, master_id = instruction_master, INSTRUCTION_MASTER
+        if chosen is None:
+            return
+        address = read_int(chosen.address)
+        bus.address.write(address)
+        bus.write_data.write(read_int(chosen.write_data))
+        bus.rnw.write(read_int(chosen.rnw))
+        bus.byte_enable.write(read_int(chosen.byte_enable))
+        bus.master_id.write(master_id)
+        bus.select.write(1)
+        chosen.grant.write(1)
+        self._busy_master = chosen
+        self.transactions_granted += 1
+        self.per_master_transactions[master_id] += 1
+        if self.gate_rare_slaves:
+            for low, high, wake_event in self._gated_ranges:
+                if low <= address < high:
+                    wake_event.notify_delta()
+                    break
+
+
+class OpbSlave(Module):
+    """Base class for OPB-attached peripherals.
+
+    Subclasses implement :meth:`read_register` and :meth:`write_register`
+    (register-style peripherals) or override :meth:`handle_access` entirely
+    (memory peripherals).  The decode process runs every clock cycle unless
+    the slave is *gated*.
+    """
+
+    #: Cycles between observing ``select`` and asserting ``xfer_ack``.
+    latency = 1
+
+    def __init__(self, sim: Simulator, name: str, base_address: int,
+                 size: int, interconnect: OpbInterconnect, clock,
+                 use_method: bool = True,
+                 reduced_port_reading: bool = False,
+                 gated: bool = False,
+                 register_process: bool = True) -> None:
+        super().__init__(sim, name)
+        self.base_address = base_address
+        self.size = size
+        self.interconnect = interconnect
+        self.clock = clock
+        self.reduced_port_reading = reduced_port_reading
+        self.gated = gated
+        self.wake_event = Event(sim, f"{name}.wake")
+        #: True while this slave is detached from the bus (dispatcher mode).
+        self.detached = False
+        # Pin-accurate connection: one port per bus signal.
+        bus = interconnect.bus
+        self.select_port = InPort(f"{name}.select")
+        self.address_port = InPort(f"{name}.address")
+        self.wdata_port = InPort(f"{name}.wdata")
+        self.rnw_port = InPort(f"{name}.rnw")
+        self.be_port = InPort(f"{name}.be")
+        self.reset_port = InPort(f"{name}.reset")
+        self.rdata_port = OutPort(f"{name}.rdata")
+        self.ack_port = OutPort(f"{name}.ack")
+        self.select_port.bind(bus.select)
+        self.address_port.bind(bus.address)
+        self.wdata_port.bind(bus.write_data)
+        self.rnw_port.bind(bus.rnw)
+        self.be_port.bind(bus.byte_enable)
+        self.reset_port.bind(bus.reset)
+        self.rdata_port.bind(bus.read_data)
+        self.ack_port.bind(bus.xfer_ack)
+        self._countdown: Optional[int] = None
+        self._ack_asserted = False
+        self._await_deselect = False
+        #: Accepted transactions (statistics).
+        self.transactions = 0
+        self.process = None
+        if register_process:
+            sensitivity = [self.wake_event] if gated \
+                else [clock.posedge_event()]
+            self.process = self.sc_process(self._decode,
+                                           sensitive=sensitivity,
+                                           use_method=use_method,
+                                           dont_initialize=True)
+
+    # -- address decode --------------------------------------------------------
+    @property
+    def end_address(self) -> int:
+        """First address beyond this slave's range."""
+        return self.base_address + self.size
+
+    def claims(self, address: int) -> bool:
+        """True when ``address`` decodes to this slave."""
+        return self.base_address <= address < self.end_address
+
+    # -- the per-cycle decode process --------------------------------------------
+    def _decode(self) -> None:
+        if self.detached:
+            return
+        if self._ack_asserted:
+            # Acknowledge lasts exactly one cycle; afterwards this slave
+            # stops driving the shared acknowledge/read-data wires entirely
+            # so other slaves' responses resolve cleanly.
+            self.ack_port.release()
+            self.rdata_port.release()
+            self._ack_asserted = False
+            if self.gated:
+                # A gated slave is only woken again for a brand-new transfer,
+                # so the completed transfer's select is already history.
+                self._await_deselect = False
+                return
+        if self.reduced_port_reading:
+            self._decode_optimised()
+        else:
+            self._decode_naive()
+        if self.gated and (self._countdown is not None or self._ack_asserted):
+            # Re-arm ourselves (latency counting / acknowledge deassertion)
+            # without being clock sensitive the rest of the time.  The
+            # wake-up lands between clock edges so the acknowledge stays
+            # visible through the whole edge on which the master and the
+            # arbiter sample it.
+            self.sim.next_trigger(self.clock.period_ps * 3 // 2)
+
+    def _decode_naive(self) -> None:
+        """Hardware-style decode: re-reads ports, checks reset every cycle.
+
+        This is the style the paper's section 4.4 calls out as inefficient:
+        the reset port is read every cycle and the address/select ports are
+        read more than once per activation.
+        """
+        if coerce_bit(self.reset_port.read()):
+            self._countdown = None
+            self._await_deselect = False
+            self.ack_port.release()
+            self.rdata_port.release()
+            return
+        if not coerce_bit(self.select_port.read()):
+            self._countdown = None
+            self._await_deselect = False
+            return
+        if self._await_deselect:
+            # The completed transfer's select is still visible; wait for the
+            # arbiter to withdraw it before decoding a new transfer.
+            return
+        if not self.claims(coerce_int(self.address_port.read())):
+            return
+        # Naive style reads the address and control ports again for the
+        # actual access.
+        address = coerce_int(self.address_port.read())
+        rnw = coerce_bit(self.rnw_port.read())
+        byte_enable = coerce_int(self.be_port.read())
+        self._advance_transfer(address, rnw, byte_enable)
+
+    def _decode_optimised(self) -> None:
+        """Section 4.4 style: each port read exactly once per activation."""
+        select = coerce_bit(self.select_port.read())
+        if not select:
+            self._countdown = None
+            self._await_deselect = False
+            return
+        if self._await_deselect:
+            return
+        address = coerce_int(self.address_port.read())
+        if not self.claims(address):
+            return
+        rnw = coerce_bit(self.rnw_port.read())
+        byte_enable = coerce_int(self.be_port.read())
+        self._advance_transfer(address, rnw, byte_enable)
+
+    def _advance_transfer(self, address: int, rnw: bool,
+                          byte_enable: int) -> None:
+        if self._countdown is None:
+            self._countdown = self.latency
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = None
+        size = bin(byte_enable).count("1") or 4
+        if rnw:
+            value = self.handle_access(address, None, size)
+            self.rdata_port.write(value)
+        else:
+            write_value = coerce_int(self.wdata_port.read())
+            self.handle_access(address, write_value, size)
+        self.ack_port.write(1)
+        self._ack_asserted = True
+        self._await_deselect = True
+        self.transactions += 1
+
+    # -- access hooks ---------------------------------------------------------------
+    def handle_access(self, address: int, write_value: Optional[int],
+                      size: int) -> int:
+        """Perform the access; return read data (reads) or 0 (writes).
+
+        The default implementation forwards to register-style hooks using
+        the word offset from the slave's base address.
+        """
+        offset = address - self.base_address
+        if write_value is None:
+            return self.read_register(offset, size)
+        self.write_register(offset, write_value, size)
+        return 0
+
+    def read_register(self, offset: int, size: int) -> int:
+        """Register read hook; subclasses override."""
+        return 0
+
+    def write_register(self, offset: int, value: int, size: int) -> None:
+        """Register write hook; subclasses override."""
+
+    # -- dispatcher support (sections 5.1 / 5.2) -----------------------------------
+    def detach(self) -> None:
+        """Detach from the bus (the dispatcher now owns this peripheral)."""
+        self.detached = True
+
+    def attach(self) -> None:
+        """Re-attach to the bus."""
+        self.detached = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"base={self.base_address:#010x}, size={self.size:#x})")
+
+
+def snoop_bus_address(bus: OpbBusSignals) -> int:
+    """Peek the currently driven bus address without a modelled port read."""
+    return peek_int(bus.address)

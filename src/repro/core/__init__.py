@@ -1,0 +1,29 @@
+"""The paper's contribution: the modelling-style evaluation harness."""
+
+from .experiment import ExperimentOptions, Figure2Experiment, VariantResult
+from .figure2 import Figure2Report, build_report
+from .metrics import (AggregatedSpeed, REFERENCE_BOOT_INSTRUCTIONS,
+                      SpeedMeasurement, cycles_per_second, format_duration,
+                      speedup, to_khz)
+from .registry import (TECHNIQUES, Technique, cycle_accurate_techniques,
+                       runtime_toggleable_techniques, technique_for)
+
+__all__ = [
+    "AggregatedSpeed",
+    "ExperimentOptions",
+    "Figure2Experiment",
+    "Figure2Report",
+    "REFERENCE_BOOT_INSTRUCTIONS",
+    "SpeedMeasurement",
+    "TECHNIQUES",
+    "Technique",
+    "VariantResult",
+    "build_report",
+    "cycle_accurate_techniques",
+    "cycles_per_second",
+    "format_duration",
+    "runtime_toggleable_techniques",
+    "speedup",
+    "technique_for",
+    "to_khz",
+]

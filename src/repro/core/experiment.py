@@ -1,0 +1,184 @@
+"""Experiment runner: measures simulation speed of every model variant.
+
+This is the harness behind the Figure 2 reproduction.  For each SystemC-
+style variant it builds the platform in that configuration, loads the
+synthetic boot workload, and measures wall-clock time over several
+execution windows ("10 different phases over 5 executions of the Linux
+boot sequence" in the paper; the window count and workload scale are
+configurable so the same harness drives both quick tests and the full
+benchmark run).  The RTL HDL baseline is measured over the register-level
+model running the "simpler program", exactly as the paper did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..platform import (VanillaNetPlatform, VariantName,
+                        PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
+                        variant_config)
+from ..rtl import RtlVanillaNetSystem
+from ..software import BootParams, build_boot_program, memory_exercise_program
+from .metrics import AggregatedSpeed, SpeedMeasurement
+
+
+@dataclass
+class ExperimentOptions:
+    """Knobs controlling how much work each measurement does."""
+
+    #: Instruction budget of each measured window (SystemC variants).
+    instructions_per_phase: int = 300
+    #: Number of measured windows per variant.
+    phases: int = 3
+    #: Cycle budget of each measured window (RTL baseline).
+    rtl_cycles_per_phase: int = 1_500
+    #: Scale factor applied to the default boot workload sizes.
+    boot_scale: float = 1.0
+    #: Simulation-cycle chunk used when driving the kernel.
+    chunk_cycles: int = 250
+    #: Hard cycle cap per window, as a safety net.
+    max_cycles_per_phase: int = 400_000
+
+    def boot_params(self) -> BootParams:
+        """The boot-workload parameters for this option set."""
+        return BootParams().scaled(self.boot_scale)
+
+
+@dataclass
+class VariantResult:
+    """Measured behaviour of one Figure 2 variant."""
+
+    variant: VariantName
+    speed: AggregatedSpeed
+    process_count: int = 0
+    console_excerpt: str = ""
+    memset_memcpy_fraction: float = 0.0
+    interception_hits: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """Figure 2 axis label."""
+        return self.variant.figure2_label
+
+    @property
+    def cps_khz(self) -> float:
+        """Measured simulation speed in kHz."""
+        return self.speed.mean_cps / 1e3
+
+    @property
+    def effective_cps_khz(self) -> float:
+        """Measured effective simulation speed in kHz."""
+        return self.speed.mean_effective_cps / 1e3
+
+    @property
+    def cpi(self) -> float:
+        """Measured cycles per instruction."""
+        return self.speed.mean_cpi
+
+    @property
+    def paper_cps_khz(self) -> float:
+        """The paper's reported CPS for this variant."""
+        return PAPER_FIGURE2_CPS_KHZ[self.variant]
+
+    @property
+    def paper_boot_minutes(self) -> float:
+        """The paper's reported boot time in minutes."""
+        return PAPER_FIGURE2_BOOT_MINUTES[self.variant]
+
+    @property
+    def projected_boot_minutes(self) -> float:
+        """Projected full-boot time, in minutes, at the measured speed."""
+        return self.speed.projected_boot_seconds() / 60.0
+
+
+class Figure2Experiment:
+    """Builds, runs and measures every model variant of Figure 2."""
+
+    def __init__(self, options: Optional[ExperimentOptions] = None) -> None:
+        self.options = options if options is not None else ExperimentOptions()
+
+    # -- individual variants -------------------------------------------------
+    def measure_variant(self, variant: VariantName) -> VariantResult:
+        """Measure one variant and return its result."""
+        if variant is VariantName.RTL_HDL:
+            return self._measure_rtl()
+        return self._measure_systemc(variant)
+
+    def _measure_systemc(self, variant: VariantName) -> VariantResult:
+        options = self.options
+        platform = VanillaNetPlatform(variant_config(variant))
+        program = build_boot_program(options.boot_params())
+        platform.load_program(program)
+        speed = AggregatedSpeed(variant.value)
+        stats = platform.statistics
+        for phase_index in range(options.phases):
+            if platform.microblaze.finished:
+                break
+            retired_before = stats.instructions_retired
+            effective_before = stats.effective_instructions
+            cycles_before = platform.cycle_count
+            started = time.perf_counter()
+            platform.run_instructions(
+                options.instructions_per_phase,
+                max_cycles=options.max_cycles_per_phase,
+                chunk_cycles=options.chunk_cycles)
+            elapsed = time.perf_counter() - started
+            speed.add(SpeedMeasurement(
+                label=f"{variant.value}.phase{phase_index}",
+                simulated_cycles=platform.cycle_count - cycles_before,
+                wall_seconds=elapsed,
+                instructions_retired=(stats.instructions_retired
+                                      - retired_before),
+                instructions_effective=(stats.effective_instructions
+                                        - effective_before),
+                phase=f"phase{phase_index}"))
+        fraction = stats.function_fraction("memset", "memcpy")
+        return VariantResult(
+            variant=variant,
+            speed=speed,
+            process_count=platform.process_count(),
+            console_excerpt=platform.console_output[:120],
+            memset_memcpy_fraction=fraction,
+            interception_hits=stats.interception_hits,
+        )
+
+    def _measure_rtl(self) -> VariantResult:
+        options = self.options
+        system = RtlVanillaNetSystem()
+        system.load_program(memory_exercise_program(region_bytes=64))
+        speed = AggregatedSpeed(VariantName.RTL_HDL.value)
+        stats = system.core.stats
+        for phase_index in range(options.phases):
+            retired_before = stats.instructions_retired
+            cycles_before = system.cycle_count
+            started = time.perf_counter()
+            system.run_cycles(options.rtl_cycles_per_phase)
+            elapsed = time.perf_counter() - started
+            speed.add(SpeedMeasurement(
+                label=f"rtl.phase{phase_index}",
+                simulated_cycles=system.cycle_count - cycles_before,
+                wall_seconds=elapsed,
+                instructions_retired=(stats.instructions_retired
+                                      - retired_before),
+                instructions_effective=(stats.instructions_retired
+                                        - retired_before),
+                phase=f"phase{phase_index}"))
+        return VariantResult(
+            variant=VariantName.RTL_HDL,
+            speed=speed,
+            process_count=system.process_count(),
+            console_excerpt=system.console_output[:120],
+            notes=["RTL baseline runs the 'simpler program', as in the "
+                   "paper (a full boot is infeasible at RTL speed)"],
+        )
+
+    # -- the full figure -----------------------------------------------------------
+    def run(self, variants: Optional[Sequence[VariantName]] = None
+            ) -> list[VariantResult]:
+        """Measure all requested variants (default: every Figure 2 bar)."""
+        if variants is None:
+            variants = list(VariantName)
+        return [self.measure_variant(variant) for variant in variants]

@@ -1,0 +1,200 @@
+"""Figure 2 assembly: tables, speed-up summaries and shape checks.
+
+The paper's single results artefact is Figure 2: one bar (CPS in kHz) and
+one line point (boot time) per model configuration.  This module turns a
+list of :class:`~repro.core.experiment.VariantResult` objects into
+
+* a text table with measured and paper values side by side,
+* the summary claims of sections 4.6, 5.5 and 7 (speed-up ranges,
+  percentage improvements), and
+* a set of *shape checks*: boolean predicates asserting that the measured
+  results preserve the paper's qualitative findings (who wins, by roughly
+  what factor, where the big steps are).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..platform import VariantName
+from .experiment import VariantResult
+from .metrics import format_duration
+
+
+@dataclass
+class Figure2Report:
+    """All variants' results plus derived summary quantities."""
+
+    results: list[VariantResult]
+
+    # -- access helpers -------------------------------------------------------
+    def result_for(self, variant: VariantName) -> VariantResult:
+        """The result of one variant; raises ``KeyError`` when absent."""
+        for result in self.results:
+            if result.variant is variant:
+                return result
+        raise KeyError(variant)
+
+    def has(self, variant: VariantName) -> bool:
+        """True when the report contains the given variant."""
+        return any(result.variant is variant for result in self.results)
+
+    def cps(self, variant: VariantName) -> float:
+        """Measured CPS (Hz) of a variant."""
+        return self.result_for(variant).speed.mean_cps
+
+    # -- summary quantities (paper sections 4.6 / 5.5 / 7) ----------------------
+    def speedup_over_rtl(self, variant: VariantName) -> float:
+        """Measured speed-up of ``variant`` over the RTL HDL baseline."""
+        rtl = self.cps(VariantName.RTL_HDL)
+        if rtl <= 0:
+            return float("inf")
+        return self.cps(variant) / rtl
+
+    def improvement_percent(self, variant: VariantName,
+                            over: VariantName) -> float:
+        """Percentage CPS improvement of one variant over another."""
+        base = self.cps(over)
+        if base <= 0:
+            return float("inf")
+        return (self.cps(variant) / base - 1.0) * 100.0
+
+    def native_types_improvement(self) -> float:
+        """Section 4.2: native data types versus the initial model (paper:
+        +132 %)."""
+        return self.improvement_percent(VariantName.NATIVE_TYPES,
+                                        VariantName.INITIAL)
+
+    def small_optimisations_improvement(self) -> float:
+        """Section 4.6: bars 4-6 combined over native types (paper: 7.6 %)."""
+        return self.improvement_percent(VariantName.REDUCED_SCHEDULING,
+                                        VariantName.NATIVE_TYPES)
+
+    def trace_slowdown(self) -> float:
+        """Tracing cost: untraced initial model CPS / traced CPS (paper ~1.9x)."""
+        traced = self.cps(VariantName.INITIAL_TRACE)
+        if traced <= 0:
+            return float("inf")
+        return self.cps(VariantName.INITIAL) / traced
+
+    def capture_boot_speedup(self) -> float:
+        """Section 5.4: boot-time ratio of bar 9 to bar 10 (paper ~2x)."""
+        before = self.result_for(VariantName.REDUCED_SCHEDULING_2)
+        after = self.result_for(VariantName.KERNEL_FUNCTION_CAPTURE)
+        after_minutes = after.projected_boot_minutes
+        if after_minutes <= 0:
+            return float("inf")
+        return before.projected_boot_minutes / after_minutes
+
+    # -- shape checks --------------------------------------------------------------
+    def shape_checks(self) -> dict[str, bool]:
+        """Qualitative claims of the paper, evaluated on measured data.
+
+        Only checks whose variants are present in the report are included.
+        """
+        checks: dict[str, bool] = {}
+        have = self.has
+
+        if have(VariantName.RTL_HDL) and have(VariantName.INITIAL):
+            checks["systemc_orders_of_magnitude_faster_than_rtl"] = \
+                self.speedup_over_rtl(VariantName.INITIAL) > 10.0
+        if have(VariantName.INITIAL) and have(VariantName.INITIAL_TRACE):
+            # Direction check only: the paper's ~1.9x magnitude is not
+            # expected here because the Python-hosted resolved-signal model
+            # is disproportionately expensive relative to the tracer (see
+            # EXPERIMENTS.md, deviations).
+            checks["tracing_slows_the_initial_model"] = \
+                self.trace_slowdown() > 1.03
+        if have(VariantName.INITIAL) and have(VariantName.NATIVE_TYPES):
+            checks["native_types_is_largest_cycle_accurate_gain"] = \
+                self.native_types_improvement() > 25.0
+        if have(VariantName.NATIVE_TYPES) \
+                and have(VariantName.REDUCED_SCHEDULING):
+            improvement = self.small_optimisations_improvement()
+            checks["bars_4_to_6_are_small_refinements"] = \
+                -5.0 < improvement < 60.0
+        if have(VariantName.REDUCED_SCHEDULING) \
+                and have(VariantName.SUPPRESS_INSTRUCTION_MEMORY):
+            checks["instruction_suppression_improves_throughput"] = (
+                self.result_for(VariantName.SUPPRESS_INSTRUCTION_MEMORY)
+                .projected_boot_minutes
+                < self.result_for(VariantName.REDUCED_SCHEDULING)
+                .projected_boot_minutes)
+        if have(VariantName.SUPPRESS_INSTRUCTION_MEMORY) \
+                and have(VariantName.SUPPRESS_MAIN_MEMORY):
+            checks["main_memory_suppression_improves_further"] = (
+                self.result_for(VariantName.SUPPRESS_MAIN_MEMORY)
+                .projected_boot_minutes
+                <= self.result_for(VariantName.SUPPRESS_INSTRUCTION_MEMORY)
+                .projected_boot_minutes * 1.05)
+        if have(VariantName.REDUCED_SCHEDULING_2) \
+                and have(VariantName.KERNEL_FUNCTION_CAPTURE):
+            checks["kernel_capture_roughly_halves_boot_time"] = \
+                self.capture_boot_speedup() > 1.3
+        return checks
+
+    def all_shape_checks_pass(self) -> bool:
+        """True when every applicable qualitative claim is reproduced."""
+        checks = self.shape_checks()
+        return bool(checks) and all(checks.values())
+
+    # -- rendering -------------------------------------------------------------------
+    def to_rows(self) -> list[dict]:
+        """Structured rows for the Figure 2 table."""
+        rows = []
+        for result in self.results:
+            rows.append({
+                "variant": result.variant.value,
+                "label": result.label,
+                "measured_cps_khz": result.cps_khz,
+                "measured_effective_cps_khz": result.effective_cps_khz,
+                "measured_cpi": result.cpi,
+                "projected_boot": format_duration(
+                    result.projected_boot_minutes * 60.0),
+                "paper_cps_khz": result.paper_cps_khz,
+                "paper_boot": format_duration(
+                    result.paper_boot_minutes * 60.0),
+                "processes": result.process_count,
+            })
+        return rows
+
+    def format_table(self) -> str:
+        """A text rendering of the Figure 2 reproduction."""
+        header = (f"{'configuration':<24} {'CPS [kHz]':>10} {'eff.':>8} "
+                  f"{'CPI':>6} {'boot (proj.)':>14} "
+                  f"{'paper CPS':>10} {'paper boot':>14}")
+        lines = [header, "-" * len(header)]
+        for row in self.to_rows():
+            lines.append(
+                f"{row['label']:<24} {row['measured_cps_khz']:>10.3f} "
+                f"{row['measured_effective_cps_khz']:>8.3f} "
+                f"{row['measured_cpi']:>6.2f} {row['projected_boot']:>14} "
+                f"{row['paper_cps_khz']:>10.3f} {row['paper_boot']:>14}")
+        return "\n".join(lines)
+
+    def summary_lines(self) -> list[str]:
+        """The headline claims, measured (sections 4.6, 5.5, 7)."""
+        lines = []
+        if self.has(VariantName.RTL_HDL) and self.has(VariantName.INITIAL):
+            lines.append(f"initial SystemC model vs RTL HDL: "
+                         f"{self.speedup_over_rtl(VariantName.INITIAL):.0f}x")
+        if self.has(VariantName.RTL_HDL) \
+                and self.has(VariantName.KERNEL_FUNCTION_CAPTURE):
+            lines.append(
+                f"fastest non-cycle-accurate model vs RTL HDL: "
+                f"{self.speedup_over_rtl(VariantName.KERNEL_FUNCTION_CAPTURE):.0f}x")
+        if self.has(VariantName.INITIAL) \
+                and self.has(VariantName.NATIVE_TYPES):
+            lines.append(f"native data types vs initial model: "
+                         f"+{self.native_types_improvement():.0f}%")
+        if self.has(VariantName.REDUCED_SCHEDULING_2) \
+                and self.has(VariantName.KERNEL_FUNCTION_CAPTURE):
+            lines.append(f"kernel-function capture boot-time speedup: "
+                         f"{self.capture_boot_speedup():.2f}x")
+        return lines
+
+
+def build_report(results: Iterable[VariantResult]) -> Figure2Report:
+    """Convenience constructor."""
+    return Figure2Report(list(results))

@@ -1,0 +1,40 @@
+"""Hardware data types: four-valued logic, logic vectors, bit utilities."""
+
+from .bitutils import (BYTE_MASK, HALF_MASK, WORD_BITS, WORD_MASK, align_down,
+                       byte_lane_mask, bytes_to_word, count_leading_zeros,
+                       get_bit, get_field, is_aligned, mask, parity,
+                       rotate_left, rotate_right, set_bit, set_field,
+                       sign_extend, to_signed, to_unsigned, truncate,
+                       word_to_bytes)
+from .logic import Logic, resolve_logic, resolve_many
+from .logicvector import LogicVector, resolve_vectors
+
+__all__ = [
+    "BYTE_MASK",
+    "HALF_MASK",
+    "Logic",
+    "LogicVector",
+    "WORD_BITS",
+    "WORD_MASK",
+    "align_down",
+    "byte_lane_mask",
+    "bytes_to_word",
+    "count_leading_zeros",
+    "get_bit",
+    "get_field",
+    "is_aligned",
+    "mask",
+    "parity",
+    "resolve_logic",
+    "resolve_many",
+    "resolve_vectors",
+    "rotate_left",
+    "rotate_right",
+    "set_bit",
+    "set_field",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "truncate",
+    "word_to_bytes",
+]

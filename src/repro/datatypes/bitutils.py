@@ -1,0 +1,133 @@
+"""Bit-manipulation helpers shared by the ISS, buses and peripherals.
+
+All helpers operate on plain Python integers interpreted as fixed-width
+unsigned words (the "native data types" of the paper's section 4.2).
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFF_FFFF
+HALF_MASK = 0xFFFF
+BYTE_MASK = 0xFF
+
+
+def mask(width: int) -> int:
+    """An all-ones mask of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int = WORD_BITS) -> int:
+    """Truncate ``value`` to an unsigned ``width``-bit quantity."""
+    return value & mask(width)
+
+
+def sign_extend(value: int, from_bits: int, to_bits: int = WORD_BITS) -> int:
+    """Sign-extend ``value`` from ``from_bits`` to ``to_bits`` (unsigned repr)."""
+    value &= mask(from_bits)
+    sign_bit = 1 << (from_bits - 1)
+    if value & sign_bit:
+        value |= mask(to_bits) & ~mask(from_bits)
+    return value & mask(to_bits)
+
+
+def to_signed(value: int, width: int = WORD_BITS) -> int:
+    """Interpret an unsigned ``width``-bit value as a signed integer."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+def to_unsigned(value: int, width: int = WORD_BITS) -> int:
+    """Two's-complement encode a (possibly negative) integer."""
+    return value & mask(width)
+
+
+def get_bit(value: int, index: int) -> int:
+    """Bit ``index`` (0 = LSB) of ``value``."""
+    return (value >> index) & 1
+
+
+def set_bit(value: int, index: int, bit: int) -> int:
+    """Return ``value`` with bit ``index`` forced to ``bit``."""
+    if bit:
+        return value | (1 << index)
+    return value & ~(1 << index)
+
+
+def get_field(value: int, high: int, low: int) -> int:
+    """Bits ``high`` down to ``low`` inclusive of ``value``."""
+    return (value >> low) & mask(high - low + 1)
+
+def set_field(value: int, high: int, low: int, field: int) -> int:
+    """Return ``value`` with bits ``high:low`` replaced by ``field``."""
+    field_mask = mask(high - low + 1) << low
+    return (value & ~field_mask) | ((field << low) & field_mask)
+
+
+def rotate_left(value: int, amount: int, width: int = WORD_BITS) -> int:
+    """Rotate a ``width``-bit value left by ``amount`` bits."""
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotate_right(value: int, amount: int, width: int = WORD_BITS) -> int:
+    """Rotate a ``width``-bit value right by ``amount`` bits."""
+    return rotate_left(value, width - (amount % width), width)
+
+
+def bytes_to_word(data: bytes, big_endian: bool = True) -> int:
+    """Pack up to four bytes into a word (MicroBlaze is big-endian)."""
+    return int.from_bytes(data, "big" if big_endian else "little")
+
+
+def word_to_bytes(value: int, length: int = 4,
+                  big_endian: bool = True) -> bytes:
+    """Unpack a word into ``length`` bytes."""
+    return truncate(value, length * 8).to_bytes(
+        length, "big" if big_endian else "little")
+
+
+def byte_lane_mask(address: int, size: int) -> int:
+    """OPB-style byte-enable mask for an access of ``size`` bytes.
+
+    Bit 3 corresponds to the most significant byte lane of a 32-bit word
+    (big-endian numbering, matching the MicroBlaze data bus).
+    """
+    if size not in (1, 2, 4):
+        raise ValueError(f"unsupported access size: {size}")
+    offset = address & 0x3
+    if size == 4:
+        if offset != 0:
+            raise ValueError("word access must be word aligned")
+        return 0b1111
+    if size == 2:
+        if offset not in (0, 2):
+            raise ValueError("halfword access must be halfword aligned")
+        return 0b1100 >> offset
+    return 0b1000 >> offset
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment``."""
+    return address & ~(alignment - 1)
+
+
+def is_aligned(address: int, alignment: int) -> bool:
+    """True when ``address`` is a multiple of ``alignment``."""
+    return (address & (alignment - 1)) == 0
+
+
+def count_leading_zeros(value: int, width: int = WORD_BITS) -> int:
+    """Number of leading zero bits in a ``width``-bit value."""
+    value &= mask(width)
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def parity(value: int) -> int:
+    """Even parity bit of ``value``."""
+    return bin(value).count("1") & 1

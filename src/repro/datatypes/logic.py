@@ -1,0 +1,167 @@
+"""Four-valued logic scalar type (``sc_logic``).
+
+The four states are ``0``, ``1``, ``X`` (unknown / conflict) and ``Z``
+(high impedance).  Resolution between multiple drivers follows the standard
+std_logic / sc_logic_resolve table: ``Z`` yields to anything, equal values
+stay, and a genuine conflict produces ``X``.
+
+These values are what make the paper's "initial model" slow: every signal
+assignment must go through conversion and resolution instead of native
+integer operations (section 4.2).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterable
+
+
+class Logic(IntEnum):
+    """One four-valued logic bit."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+    Z = 3
+
+    @classmethod
+    def from_value(cls, value: "Logic | int | str | bool") -> "Logic":
+        """Convert ints, bools and characters into a :class:`Logic` value."""
+        if isinstance(value, Logic):
+            return value
+        if isinstance(value, bool):
+            return cls.ONE if value else cls.ZERO
+        if isinstance(value, int):
+            if value == 0:
+                return cls.ZERO
+            if value == 1:
+                return cls.ONE
+            raise ValueError(f"cannot convert integer {value} to Logic")
+        if isinstance(value, str):
+            return _CHAR_TO_LOGIC[value.upper()]
+        raise TypeError(f"cannot convert {value!r} to Logic")
+
+    def to_char(self) -> str:
+        """The conventional single-character representation."""
+        return _LOGIC_TO_CHAR[self]
+
+    def to_bool(self) -> bool:
+        """Interpret as a boolean; ``X``/``Z`` raise."""
+        if self is Logic.ZERO:
+            return False
+        if self is Logic.ONE:
+            return True
+        raise ValueError(f"Logic value {self.to_char()} has no boolean "
+                         f"interpretation")
+
+    def is_known(self) -> bool:
+        """True for ``0``/``1``, False for ``X``/``Z``."""
+        return self in (Logic.ZERO, Logic.ONE)
+
+    # -- operators ----------------------------------------------------------
+    def __and__(self, other: "Logic | int") -> "Logic":
+        return _AND_TABLE[self][Logic.from_value(other)]
+
+    def __or__(self, other: "Logic | int") -> "Logic":
+        return _OR_TABLE[self][Logic.from_value(other)]
+
+    def __xor__(self, other: "Logic | int") -> "Logic":
+        return _XOR_TABLE[self][Logic.from_value(other)]
+
+    def __invert__(self) -> "Logic":
+        return _NOT_TABLE[self]
+
+    def __str__(self) -> str:
+        return self.to_char()
+
+
+_CHAR_TO_LOGIC = {
+    "0": Logic.ZERO,
+    "1": Logic.ONE,
+    "X": Logic.X,
+    "Z": Logic.Z,
+    "U": Logic.X,
+    "-": Logic.X,
+}
+
+_LOGIC_TO_CHAR = {
+    Logic.ZERO: "0",
+    Logic.ONE: "1",
+    Logic.X: "X",
+    Logic.Z: "Z",
+}
+
+
+def _build_table(func) -> dict:
+    table: dict = {}
+    for a in Logic:
+        table[a] = {}
+        for b in Logic:
+            table[a][b] = func(a, b)
+    return table
+
+
+def _and(a: Logic, b: Logic) -> Logic:
+    if a is Logic.ZERO or b is Logic.ZERO:
+        return Logic.ZERO
+    if a is Logic.ONE and b is Logic.ONE:
+        return Logic.ONE
+    return Logic.X
+
+
+def _or(a: Logic, b: Logic) -> Logic:
+    if a is Logic.ONE or b is Logic.ONE:
+        return Logic.ONE
+    if a is Logic.ZERO and b is Logic.ZERO:
+        return Logic.ZERO
+    return Logic.X
+
+
+def _xor(a: Logic, b: Logic) -> Logic:
+    if a.is_known() and b.is_known():
+        return Logic.ONE if a is not b else Logic.ZERO
+    return Logic.X
+
+
+_AND_TABLE = _build_table(_and)
+_OR_TABLE = _build_table(_or)
+_XOR_TABLE = _build_table(_xor)
+_NOT_TABLE = {
+    Logic.ZERO: Logic.ONE,
+    Logic.ONE: Logic.ZERO,
+    Logic.X: Logic.X,
+    Logic.Z: Logic.X,
+}
+
+#: Multi-driver resolution table (std_logic style, restricted to 4 states).
+_RESOLVE_TABLE = {
+    (Logic.ZERO, Logic.ZERO): Logic.ZERO,
+    (Logic.ZERO, Logic.ONE): Logic.X,
+    (Logic.ZERO, Logic.X): Logic.X,
+    (Logic.ZERO, Logic.Z): Logic.ZERO,
+    (Logic.ONE, Logic.ZERO): Logic.X,
+    (Logic.ONE, Logic.ONE): Logic.ONE,
+    (Logic.ONE, Logic.X): Logic.X,
+    (Logic.ONE, Logic.Z): Logic.ONE,
+    (Logic.X, Logic.ZERO): Logic.X,
+    (Logic.X, Logic.ONE): Logic.X,
+    (Logic.X, Logic.X): Logic.X,
+    (Logic.X, Logic.Z): Logic.X,
+    (Logic.Z, Logic.ZERO): Logic.ZERO,
+    (Logic.Z, Logic.ONE): Logic.ONE,
+    (Logic.Z, Logic.X): Logic.X,
+    (Logic.Z, Logic.Z): Logic.Z,
+}
+
+
+def resolve_logic(a: Logic, b: Logic) -> Logic:
+    """Resolve two simultaneously-driven logic values."""
+    return _RESOLVE_TABLE[(a, b)]
+
+
+def resolve_many(values: Iterable[Logic]) -> Logic:
+    """Resolve an arbitrary number of drivers (``Z`` when there are none)."""
+    result = Logic.Z
+    for value in values:
+        result = resolve_logic(result, value)
+    return result

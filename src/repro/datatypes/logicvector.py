@@ -1,0 +1,186 @@
+"""Fixed-width four-valued logic vectors (``sc_lv<N>`` / ``sc_rv<N>``).
+
+A :class:`LogicVector` stores one :class:`~repro.datatypes.logic.Logic`
+value per bit, most significant bit first in string form.  It supports the
+operations the bus and peripheral models of the "initial" (resolved) model
+variant need: integer conversion, slicing, bitwise operators and
+multi-driver resolution.
+
+The deliberate cost of this type relative to plain Python integers is the
+point of the paper's section 4.2: the "native data types" optimisation
+replaces these vectors with machine integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from .logic import Logic, resolve_logic
+
+LogicLike = Union["LogicVector", int, str, Sequence[Logic]]
+
+
+class LogicVector:
+    """An immutable vector of four-valued logic bits.
+
+    Parameters
+    ----------
+    width:
+        Number of bits.
+    value:
+        Initial value: an ``int`` (two's complement truncated to ``width``),
+        a string of ``0/1/X/Z`` characters (MSB first), another vector, a
+        sequence of :class:`Logic` values, or a single :class:`Logic` value
+        replicated across the width.
+    """
+
+    __slots__ = ("width", "_bits")
+
+    def __init__(self, width: int, value: LogicLike = 0) -> None:
+        if width <= 0:
+            raise ValueError("LogicVector width must be positive")
+        self.width = width
+        self._bits = tuple(self._coerce_bits(width, value))
+
+    # -- construction --------------------------------------------------------
+    @staticmethod
+    def _coerce_bits(width: int, value: LogicLike) -> list[Logic]:
+        if isinstance(value, LogicVector):
+            bits = list(value._bits)
+            return _fit(bits, width)
+        if isinstance(value, Logic):
+            return [value] * width
+        if isinstance(value, bool):
+            return LogicVector._coerce_bits(width, int(value))
+        if isinstance(value, int):
+            masked = value & ((1 << width) - 1)
+            return [Logic.ONE if (masked >> (width - 1 - i)) & 1 else Logic.ZERO
+                    for i in range(width)]
+        if isinstance(value, str):
+            bits = [Logic.from_value(char) for char in value]
+            return _fit(bits, width)
+        bits = [Logic.from_value(v) for v in value]
+        return _fit(bits, width)
+
+    @classmethod
+    def all_x(cls, width: int) -> "LogicVector":
+        """A vector of all ``X`` (the power-up value of resolved signals)."""
+        return cls(width, Logic.X)
+
+    @classmethod
+    def all_z(cls, width: int) -> "LogicVector":
+        """A vector of all ``Z`` (an undriven resolved bus)."""
+        return cls(width, Logic.Z)
+
+    # -- queries ---------------------------------------------------------------
+    def is_known(self) -> bool:
+        """True when every bit is 0 or 1."""
+        return all(bit.is_known() for bit in self._bits)
+
+    def to_int(self) -> int:
+        """Unsigned integer value; raises if any bit is ``X``/``Z``."""
+        value = 0
+        for bit in self._bits:
+            value = (value << 1) | (1 if bit is Logic.ONE else 0)
+            if not bit.is_known():
+                raise ValueError(f"cannot convert {self} to int: "
+                                 f"contains X/Z bits")
+        return value
+
+    def to_signed(self) -> int:
+        """Signed (two's complement) integer value."""
+        value = self.to_int()
+        if value & (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+    def to_string(self) -> str:
+        """MSB-first character representation (``"10XZ"``)."""
+        return "".join(bit.to_char() for bit in self._bits)
+
+    def bit(self, index: int) -> Logic:
+        """Bit at ``index`` where index 0 is the least significant bit."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit index {index} out of range for width "
+                             f"{self.width}")
+        return self._bits[self.width - 1 - index]
+
+    def slice(self, high: int, low: int) -> "LogicVector":
+        """Bits ``high`` down to ``low`` inclusive, as a new vector."""
+        if not (0 <= low <= high < self.width):
+            raise IndexError(f"slice [{high}:{low}] out of range for width "
+                             f"{self.width}")
+        bits = self._bits[self.width - 1 - high: self.width - low]
+        return LogicVector(high - low + 1, bits)
+
+    # -- operators ---------------------------------------------------------------
+    def _binary(self, other: LogicLike, op) -> "LogicVector":
+        other_vec = other if isinstance(other, LogicVector) \
+            else LogicVector(self.width, other)
+        if other_vec.width != self.width:
+            raise ValueError("width mismatch in LogicVector operation")
+        return LogicVector(self.width, [op(a, b) for a, b
+                                        in zip(self._bits, other_vec._bits)])
+
+    def __and__(self, other: LogicLike) -> "LogicVector":
+        return self._binary(other, lambda a, b: a & b)
+
+    def __or__(self, other: LogicLike) -> "LogicVector":
+        return self._binary(other, lambda a, b: a | b)
+
+    def __xor__(self, other: LogicLike) -> "LogicVector":
+        return self._binary(other, lambda a, b: a ^ b)
+
+    def __invert__(self) -> "LogicVector":
+        return LogicVector(self.width, [~bit for bit in self._bits])
+
+    def resolve(self, other: LogicLike) -> "LogicVector":
+        """Multi-driver resolution with another vector (``sc_rv`` semantics)."""
+        return self._binary(other, resolve_logic)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LogicVector):
+            return self.width == other.width and self._bits == other._bits
+        if isinstance(other, int):
+            return self.is_known() and self.to_int() == (
+                other & ((1 << self.width) - 1))
+        if isinstance(other, str):
+            return self.to_string() == other.upper()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self):
+        return iter(self._bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogicVector({self.width}, '{self.to_string()}')"
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+
+def _fit(bits: list[Logic], width: int) -> list[Logic]:
+    """Zero-extend (with ``Logic.ZERO``) or truncate MSBs to ``width``."""
+    if len(bits) > width:
+        return bits[len(bits) - width:]
+    if len(bits) < width:
+        return [Logic.ZERO] * (width - len(bits)) + bits
+    return bits
+
+
+def resolve_vectors(vectors: Iterable[LogicVector],
+                    width: int) -> LogicVector:
+    """Resolve any number of simultaneously-driven vectors.
+
+    With no drivers the result is all ``Z``; with one driver, that driver's
+    value; otherwise pairwise resolution.
+    """
+    result = LogicVector.all_z(width)
+    for vector in vectors:
+        result = result.resolve(vector)
+    return result

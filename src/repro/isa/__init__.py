@@ -1,0 +1,34 @@
+"""MicroBlaze ISA: encodings, decoder, assembler, disassembler, registers."""
+
+from . import encoding
+from .assembler import Assembler, Program, assemble
+from .decoder import DecodeCache, Instruction, decode
+from .disassembler import (disassemble_range, disassemble_word,
+                           format_instruction)
+from .registers import (ABI_ALIASES, ARGUMENT_REGISTERS,
+                        INTERRUPT_LINK_REGISTER, LINK_REGISTER,
+                        MachineStatusRegister, RegisterFile,
+                        RETURN_VALUE_REGISTER, STACK_POINTER)
+from .symbols import SymbolTable
+
+__all__ = [
+    "ABI_ALIASES",
+    "ARGUMENT_REGISTERS",
+    "Assembler",
+    "DecodeCache",
+    "INTERRUPT_LINK_REGISTER",
+    "Instruction",
+    "LINK_REGISTER",
+    "MachineStatusRegister",
+    "Program",
+    "RETURN_VALUE_REGISTER",
+    "RegisterFile",
+    "STACK_POINTER",
+    "SymbolTable",
+    "assemble",
+    "decode",
+    "disassemble_range",
+    "disassemble_word",
+    "encoding",
+    "format_instruction",
+]

@@ -1,0 +1,575 @@
+"""Two-pass MicroBlaze assembler.
+
+The synthetic boot workload (``repro.software``) is written in MicroBlaze
+assembly and assembled with this module, so the ISS executes real
+instruction encodings rather than hand-built objects.
+
+Supported syntax
+----------------
+
+* labels: ``label:`` (optionally followed by an instruction on the line)
+* comments: ``#``, ``;`` and ``//`` to end of line
+* directives: ``.org ADDR``, ``.word V[, V...]``, ``.space N``,
+  ``.align N``, ``.ascii "text"``, ``.asciiz "text"``, ``.equ NAME, VALUE``
+* all instructions understood by :mod:`repro.isa.decoder`
+* pseudo-instructions: ``nop``, ``li rd, imm32`` (also ``la``), ``ret``,
+  ``reti``
+
+Label-addressed immediates (branch targets, ``li``) always assemble to an
+``imm``-prefix pair, so instruction sizing is deterministic across the two
+passes.  Numeric immediates assemble to a single word and must fit in the
+16-bit field.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..datatypes import truncate
+from ..kernel.errors import AssemblerError
+from . import encoding as enc
+from .registers import ABI_ALIASES
+from .symbols import SymbolTable
+
+_SPECIAL_REGISTERS = {
+    "rpc": enc.SPR_PC,
+    "rmsr": enc.SPR_MSR,
+    "rear": enc.SPR_EAR,
+    "resr": enc.SPR_ESR,
+}
+
+_TYPE_A_THREE_REG = {
+    "add": (enc.OP_ADD, 0), "addc": (enc.OP_ADDC, 0),
+    "addk": (enc.OP_ADDK, 0), "addkc": (enc.OP_ADDKC, 0),
+    "rsub": (enc.OP_RSUB, 0), "rsubc": (enc.OP_RSUBC, 0),
+    "rsubk": (enc.OP_RSUBK, 0), "rsubkc": (enc.OP_RSUBKC, 0),
+    "cmp": (enc.OP_RSUBK, enc.CMP_FUNC),
+    "cmpu": (enc.OP_RSUBK, enc.CMPU_FUNC),
+    "or": (enc.OP_OR, 0), "and": (enc.OP_AND, 0), "xor": (enc.OP_XOR, 0),
+    "andn": (enc.OP_ANDN, 0), "mul": (enc.OP_MUL, 0),
+    "idiv": (enc.OP_IDIV, 0), "idivu": (enc.OP_IDIV, 2),
+    "bsrl": (enc.OP_BS, enc.BS_SRL), "bsra": (enc.OP_BS, enc.BS_SRA),
+    "bsll": (enc.OP_BS, enc.BS_SLL),
+    "lbu": (enc.OP_LBU, 0), "lhu": (enc.OP_LHU, 0), "lw": (enc.OP_LW, 0),
+    "sb": (enc.OP_SB, 0), "sh": (enc.OP_SH, 0), "sw": (enc.OP_SW, 0),
+}
+
+_TYPE_B_REG_REG_IMM = {
+    "addi": enc.OP_ADDI, "addic": enc.OP_ADDIC, "addik": enc.OP_ADDIK,
+    "addikc": enc.OP_ADDIKC, "rsubi": enc.OP_RSUBI, "rsubic": enc.OP_RSUBIC,
+    "rsubik": enc.OP_RSUBIK, "rsubikc": enc.OP_RSUBIKC,
+    "ori": enc.OP_ORI, "andi": enc.OP_ANDI, "xori": enc.OP_XORI,
+    "andni": enc.OP_ANDNI, "muli": enc.OP_MULI,
+    "lbui": enc.OP_LBUI, "lhui": enc.OP_LHUI, "lwi": enc.OP_LWI,
+    "sbi": enc.OP_SBI, "shi": enc.OP_SHI, "swi": enc.OP_SWI,
+}
+
+_BARREL_SHIFT_IMM = {
+    "bsrli": enc.BS_SRL, "bsrai": enc.BS_SRA, "bslli": enc.BS_SLL,
+}
+
+_SHIFT_ONE_REG = {
+    "sra": enc.SHIFT_SRA, "src": enc.SHIFT_SRC, "srl": enc.SHIFT_SRL,
+    "sext8": enc.SHIFT_SEXT8, "sext16": enc.SHIFT_SEXT16,
+}
+
+#: Unconditional branch mnemonics -> (absolute, link, delay).
+_BRANCH_FLAVOURS = {
+    "br": (False, False, False), "brd": (False, False, True),
+    "brld": (False, True, True), "bra": (True, False, False),
+    "brad": (True, False, True), "brald": (True, True, True),
+    "bri": (False, False, False), "brid": (False, False, True),
+    "brlid": (False, True, True), "brai": (True, False, False),
+    "braid": (True, False, True), "bralid": (True, True, True),
+}
+
+_CONDITION_CODES = {
+    "eq": enc.COND_EQ, "ne": enc.COND_NE, "lt": enc.COND_LT,
+    "le": enc.COND_LE, "gt": enc.COND_GT, "ge": enc.COND_GE,
+}
+
+_STRING_RE = re.compile(r'"((?:[^"\\]|\\.)*)"')
+
+
+@dataclass
+class Program:
+    """The output of the assembler: loadable segments plus metadata."""
+
+    segments: list[tuple[int, bytearray]] = field(default_factory=list)
+    symbols: SymbolTable = field(default_factory=SymbolTable)
+    entry_point: int = 0
+    instruction_count: int = 0
+
+    def words(self) -> list[tuple[int, int]]:
+        """All whole words as ``(address, value)`` pairs (big-endian)."""
+        result = []
+        for base, data in self.segments:
+            for offset in range(0, len(data) - len(data) % 4, 4):
+                value = int.from_bytes(data[offset:offset + 4], "big")
+                result.append((base + offset, value))
+        return result
+
+    def load(self, write_byte: Callable[[int, int], None]) -> int:
+        """Load every segment through a ``write_byte(address, value)`` callback.
+
+        Returns the number of bytes written.
+        """
+        written = 0
+        for base, data in self.segments:
+            for offset, value in enumerate(data):
+                write_byte(base + offset, value)
+                written += 1
+        return written
+
+    @property
+    def size_bytes(self) -> int:
+        """Total number of bytes across all segments."""
+        return sum(len(data) for __, data in self.segments)
+
+    def address_range(self) -> tuple[int, int]:
+        """Lowest and highest (exclusive) address touched by the program."""
+        if not self.segments:
+            return (0, 0)
+        low = min(base for base, __ in self.segments)
+        high = max(base + len(data) for base, data in self.segments)
+        return (low, high)
+
+
+@dataclass
+class _Item:
+    """One assembly line after parsing (pass 1)."""
+
+    kind: str                 # 'instruction' | 'word' | 'space' | 'ascii'
+    address: int
+    size: int
+    mnemonic: str = ""
+    operands: tuple = ()
+    data: bytes = b""
+    line_number: int = 0
+    source: str = ""
+    #: A label-target branch encoded without an IMM prefix (backward branch
+    #: to an already-defined label whose offset fits in 16 bits).
+    compact_branch: bool = False
+
+
+class Assembler:
+    """Two-pass assembler producing :class:`Program` objects."""
+
+    def __init__(self) -> None:
+        self._constants: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def assemble(self, source: str, origin: int = 0) -> Program:
+        """Assemble ``source`` text starting at ``origin``."""
+        self._constants = {}
+        symbols = SymbolTable()
+        items = self._first_pass(source, origin, symbols)
+        program = self._second_pass(items, symbols)
+        program.entry_point = symbols.get("_start", origin)
+        return program
+
+    # ------------------------------------------------------------------ #
+    # pass 1: sizing, label collection
+    # ------------------------------------------------------------------ #
+    def _first_pass(self, source: str, origin: int,
+                    symbols: SymbolTable) -> list[_Item]:
+        items: list[_Item] = []
+        address = origin
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw_line).strip()
+            if not line:
+                continue
+            line, address = self._consume_labels(line, address, symbols)
+            if not line:
+                continue
+            if line.startswith("."):
+                address = self._handle_directive_pass1(
+                    line, address, symbols, items, line_number)
+                continue
+            mnemonic, operands = self._split_instruction(line)
+            size, compact = self._instruction_size(mnemonic, operands,
+                                                   address, symbols)
+            items.append(_Item(kind="instruction", address=address,
+                               size=size, mnemonic=mnemonic,
+                               operands=operands, line_number=line_number,
+                               source=raw_line.strip(),
+                               compact_branch=compact))
+            address += size
+        return items
+
+    @staticmethod
+    def _strip_comment(line: str) -> str:
+        for marker in ("#", ";", "//"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        return line
+
+    @staticmethod
+    def _consume_labels(line: str, address: int,
+                        symbols: SymbolTable) -> tuple[str, int]:
+        while ":" in line:
+            candidate, __, rest = line.partition(":")
+            candidate = candidate.strip()
+            if not candidate or not re.fullmatch(r"[A-Za-z_.$][\w.$]*",
+                                                 candidate):
+                break
+            symbols.define(candidate, address)
+            line = rest.strip()
+        return line, address
+
+    @staticmethod
+    def _split_instruction(line: str) -> tuple[str, tuple]:
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if len(parts) == 1:
+            return mnemonic, ()
+        operands = tuple(op.strip() for op in parts[1].split(","))
+        return mnemonic, operands
+
+    def _handle_directive_pass1(self, line: str, address: int,
+                                symbols: SymbolTable, items: list[_Item],
+                                line_number: int) -> int:
+        mnemonic, operands = self._split_instruction(line)
+        if mnemonic == ".org":
+            return self._parse_number(operands[0])
+        if mnemonic == ".equ":
+            if len(operands) != 2:
+                raise AssemblerError(f"line {line_number}: .equ needs a name "
+                                     f"and a value")
+            self._constants[operands[0]] = self._parse_number(operands[1])
+            return address
+        if mnemonic == ".align":
+            alignment = self._parse_number(operands[0])
+            padding = (-address) % alignment
+            if padding:
+                items.append(_Item(kind="space", address=address,
+                                   size=padding, line_number=line_number))
+            return address + padding
+        if mnemonic == ".space":
+            size = self._parse_number(operands[0])
+            items.append(_Item(kind="space", address=address, size=size,
+                               line_number=line_number))
+            return address + size
+        if mnemonic == ".word":
+            size = 4 * len(operands)
+            items.append(_Item(kind="word", address=address, size=size,
+                               operands=operands, line_number=line_number))
+            return address + size
+        if mnemonic in (".ascii", ".asciiz"):
+            match = _STRING_RE.search(line)
+            if match is None:
+                raise AssemblerError(f"line {line_number}: missing string "
+                                     f"literal for {mnemonic}")
+            text = match.group(1).encode("ascii").decode("unicode_escape")
+            data = text.encode("latin-1")
+            if mnemonic == ".asciiz":
+                data += b"\x00"
+            items.append(_Item(kind="ascii", address=address,
+                               size=len(data), data=data,
+                               line_number=line_number))
+            return address + len(data)
+        raise AssemblerError(f"line {line_number}: unknown directive "
+                             f"{mnemonic!r}")
+
+    def _instruction_size(self, mnemonic: str, operands: tuple,
+                          address: int,
+                          symbols: SymbolTable) -> tuple[int, bool]:
+        """Size in bytes plus whether a branch uses the compact encoding."""
+        if mnemonic in ("li", "la"):
+            return 8, False
+        # Immediate-form branches to a label normally need an IMM prefix
+        # (8 bytes); a backward branch to an already-defined nearby label
+        # fits in the 16-bit immediate and stays a single word.
+        immediate_branch = (
+            (mnemonic in _BRANCH_FLAVOURS and "i" in mnemonic[2:])
+            or (self._is_conditional(mnemonic)
+                and mnemonic.rstrip("d").endswith("i")))
+        if immediate_branch and self._last_operand_is_symbolic(operands):
+            target_token = operands[-1].strip()
+            if target_token in symbols:
+                offset = symbols.address_of(target_token) - address
+                absolute = mnemonic in _BRANCH_FLAVOURS \
+                    and _BRANCH_FLAVOURS[mnemonic][0]
+                if not absolute and -32768 <= offset <= 32767:
+                    return 4, True
+            return 8, False
+        return 4, False
+
+    def _is_conditional(self, mnemonic: str) -> bool:
+        base = mnemonic
+        for suffix in ("id", "i", "d"):
+            if base.endswith(suffix) and base[:-len(suffix)] in (
+                    f"b{c}" for c in _CONDITION_CODES):
+                base = base[:-len(suffix)]
+                break
+        return base in tuple(f"b{c}" for c in _CONDITION_CODES)
+
+    def _last_operand_is_symbolic(self, operands: tuple) -> bool:
+        if not operands:
+            return False
+        try:
+            self._parse_number(operands[-1])
+            return False
+        except (AssemblerError, ValueError):
+            return True
+
+    # ------------------------------------------------------------------ #
+    # pass 2: encoding
+    # ------------------------------------------------------------------ #
+    def _second_pass(self, items: list[_Item],
+                     symbols: SymbolTable) -> Program:
+        program = Program(symbols=symbols)
+        chunks: list[tuple[int, bytes]] = []
+        for item in items:
+            try:
+                chunks.append((item.address, self._emit(item, symbols,
+                                                        program)))
+            except AssemblerError:
+                raise
+            except (ValueError, KeyError) as exc:
+                raise AssemblerError(
+                    f"line {item.line_number}: {exc} (in {item.source!r})"
+                ) from exc
+        program.segments = _merge_chunks(chunks)
+        return program
+
+    def _emit(self, item: _Item, symbols: SymbolTable,
+              program: Program) -> bytes:
+        if item.kind == "space":
+            return bytes(item.size)
+        if item.kind == "ascii":
+            return item.data
+        if item.kind == "word":
+            values = [self._resolve(op, symbols) for op in item.operands]
+            return b"".join(truncate(v, 32).to_bytes(4, "big")
+                            for v in values)
+        words = self._encode_instruction(item, symbols)
+        program.instruction_count += len(words)
+        return b"".join(word.to_bytes(4, "big") for word in words)
+
+    # -- operand helpers ------------------------------------------------------
+    def _parse_register(self, token: str) -> int:
+        token = token.strip().lower()
+        if token in ABI_ALIASES:
+            return ABI_ALIASES[token]
+        if token.startswith("r") and token[1:].isdigit():
+            index = int(token[1:])
+            if 0 <= index < 32:
+                return index
+        raise AssemblerError(f"invalid register: {token!r}")
+
+    def _parse_number(self, token: str) -> int:
+        token = token.strip()
+        if token in self._constants:
+            return self._constants[token]
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise AssemblerError(f"not a number: {token!r}") from exc
+
+    def _resolve(self, token: str, symbols: SymbolTable) -> int:
+        """Resolve a numeric literal, constant, or label (+/- offset)."""
+        token = token.strip()
+        match = re.fullmatch(r"([A-Za-z_.$][\w.$]*)\s*([+-]\s*\w+)?", token)
+        if match and (match.group(1) in symbols
+                      or match.group(1) in self._constants):
+            base_name = match.group(1)
+            base = (symbols.get(base_name)
+                    if base_name in symbols
+                    else self._constants[base_name])
+            offset = 0
+            if match.group(2):
+                offset = int(match.group(2).replace(" ", ""), 0)
+            return base + offset
+        return self._parse_number(token)
+
+    def _is_symbolic(self, token: str, symbols: SymbolTable) -> bool:
+        try:
+            self._parse_number(token)
+            return False
+        except AssemblerError:
+            pass
+        return True
+
+    # -- per-instruction encoders -----------------------------------------------
+    def _encode_instruction(self, item: _Item,
+                            symbols: SymbolTable) -> list[int]:
+        mnemonic = item.mnemonic
+        ops = item.operands
+
+        if mnemonic == "nop":
+            return [enc.pack_type_a(enc.OP_OR, 0, 0, 0)]
+        if mnemonic == "ret":
+            return [enc.pack_type_b(enc.OP_RET, enc.RET_RTSD, 15, 8)]
+        if mnemonic == "reti":
+            return [enc.pack_type_b(enc.OP_RET, enc.RET_RTID, 14, 0)]
+        if mnemonic in ("li", "la"):
+            rd = self._parse_register(ops[0])
+            value = self._resolve(ops[1], symbols)
+            return [enc.pack_type_b(enc.OP_IMM, 0, 0, (value >> 16) & 0xFFFF),
+                    enc.pack_type_b(enc.OP_ADDIK, rd, 0, value & 0xFFFF)]
+
+        if mnemonic in _TYPE_A_THREE_REG:
+            opcode, function = _TYPE_A_THREE_REG[mnemonic]
+            rd = self._parse_register(ops[0])
+            ra = self._parse_register(ops[1])
+            rb = self._parse_register(ops[2])
+            return [enc.pack_type_a(opcode, rd, ra, rb, function)]
+
+        if mnemonic in _TYPE_B_REG_REG_IMM:
+            opcode = _TYPE_B_REG_REG_IMM[mnemonic]
+            rd = self._parse_register(ops[0])
+            ra = self._parse_register(ops[1])
+            value = self._resolve(ops[2], symbols)
+            self._check_imm16(value, item)
+            return [enc.pack_type_b(opcode, rd, ra, value & 0xFFFF)]
+
+        if mnemonic in _BARREL_SHIFT_IMM:
+            rd = self._parse_register(ops[0])
+            ra = self._parse_register(ops[1])
+            amount = self._resolve(ops[2], symbols) & 0x1F
+            return [enc.pack_type_b(enc.OP_BSI, rd, ra,
+                                    _BARREL_SHIFT_IMM[mnemonic] | amount)]
+
+        if mnemonic in _SHIFT_ONE_REG:
+            rd = self._parse_register(ops[0])
+            ra = self._parse_register(ops[1])
+            return [(enc.OP_SHIFT & 0x3F) << 26 | rd << 21 | ra << 16
+                    | _SHIFT_ONE_REG[mnemonic]]
+
+        if mnemonic == "mfs":
+            rd = self._parse_register(ops[0])
+            spr = _SPECIAL_REGISTERS[ops[1].strip().lower()]
+            return [enc.pack_type_b(enc.OP_MSR, rd, 0, enc.MSR_MFS | spr)]
+        if mnemonic == "mts":
+            spr = _SPECIAL_REGISTERS[ops[0].strip().lower()]
+            ra = self._parse_register(ops[1])
+            return [enc.pack_type_b(enc.OP_MSR, 0, ra, enc.MSR_MTS | spr)]
+        if mnemonic == "msrset":
+            rd = self._parse_register(ops[0])
+            value = self._resolve(ops[1], symbols) & 0x3FFF
+            return [enc.pack_type_b(enc.OP_MSR, rd, 0, value)]
+        if mnemonic == "msrclr":
+            rd = self._parse_register(ops[0])
+            value = self._resolve(ops[1], symbols) & 0x3FFF
+            return [enc.pack_type_b(enc.OP_MSR, rd, 1, value)]
+
+        if mnemonic in ("rtsd", "rtid", "rtbd", "rted"):
+            flavour = {"rtsd": enc.RET_RTSD, "rtid": enc.RET_RTID,
+                       "rtbd": enc.RET_RTBD, "rted": enc.RET_RTED}[mnemonic]
+            ra = self._parse_register(ops[0])
+            value = self._resolve(ops[1], symbols)
+            return [enc.pack_type_b(enc.OP_RET, flavour, ra, value & 0xFFFF)]
+
+        if mnemonic == "imm":
+            value = self._resolve(ops[0], symbols)
+            return [enc.pack_type_b(enc.OP_IMM, 0, 0, value & 0xFFFF)]
+
+        if mnemonic in _BRANCH_FLAVOURS:
+            return self._encode_unconditional_branch(mnemonic, ops, item,
+                                                     symbols)
+        if self._is_conditional(mnemonic):
+            return self._encode_conditional_branch(mnemonic, ops, item,
+                                                   symbols)
+
+        raise AssemblerError(f"line {item.line_number}: unknown mnemonic "
+                             f"{mnemonic!r}")
+
+    def _encode_unconditional_branch(self, mnemonic: str, ops: tuple,
+                                     item: _Item,
+                                     symbols: SymbolTable) -> list[int]:
+        absolute, link, delay = _BRANCH_FLAVOURS[mnemonic]
+        immediate_form = "i" in mnemonic[2:]
+        ra_code = ((enc.BR_ABS if absolute else 0)
+                   | (enc.BR_LINK if link else 0)
+                   | (enc.BR_DELAY if delay else 0))
+        if link:
+            rd = self._parse_register(ops[0])
+            target_token = ops[1]
+        else:
+            rd = 0
+            target_token = ops[0]
+        if not immediate_form:
+            rb = self._parse_register(target_token)
+            return [enc.pack_type_a(enc.OP_BR, rd, ra_code, rb)]
+        symbolic = self._is_symbolic(target_token, symbols)
+        target = self._resolve(target_token, symbols)
+        if symbolic and item.compact_branch:
+            offset = target - item.address
+            return [enc.pack_type_b(enc.OP_BRI, rd, ra_code,
+                                    offset & 0xFFFF)]
+        if symbolic:
+            branch_address = item.address + 4   # the word after the IMM
+            value = target if absolute else target - branch_address
+            return [enc.pack_type_b(enc.OP_IMM, 0, 0, (value >> 16) & 0xFFFF),
+                    enc.pack_type_b(enc.OP_BRI, rd, ra_code, value & 0xFFFF)]
+        self._check_imm16(target, item)
+        return [enc.pack_type_b(enc.OP_BRI, rd, ra_code, target & 0xFFFF)]
+
+    def _encode_conditional_branch(self, mnemonic: str, ops: tuple,
+                                   item: _Item,
+                                   symbols: SymbolTable) -> list[int]:
+        base = mnemonic[1:]
+        delay = base.endswith("d")
+        if delay:
+            base = base[:-1]
+        immediate_form = base.endswith("i")
+        if immediate_form:
+            base = base[:-1]
+        if base not in _CONDITION_CODES:
+            raise AssemblerError(f"line {item.line_number}: unknown branch "
+                                 f"condition in {mnemonic!r}")
+        rd_code = _CONDITION_CODES[base] | (enc.COND_DELAY if delay else 0)
+        ra = self._parse_register(ops[0])
+        if not immediate_form:
+            rb = self._parse_register(ops[1])
+            return [enc.pack_type_a(enc.OP_BCC, rd_code, ra, rb)]
+        target_token = ops[1]
+        symbolic = self._is_symbolic(target_token, symbols)
+        target = self._resolve(target_token, symbols)
+        if symbolic and item.compact_branch:
+            offset = target - item.address
+            return [enc.pack_type_b(enc.OP_BCCI, rd_code, ra,
+                                    offset & 0xFFFF)]
+        if symbolic:
+            branch_address = item.address + 4
+            offset = target - branch_address
+            return [enc.pack_type_b(enc.OP_IMM, 0, 0, (offset >> 16) & 0xFFFF),
+                    enc.pack_type_b(enc.OP_BCCI, rd_code, ra,
+                                    offset & 0xFFFF)]
+        self._check_imm16(target, item)
+        return [enc.pack_type_b(enc.OP_BCCI, rd_code, ra, target & 0xFFFF)]
+
+    @staticmethod
+    def _check_imm16(value: int, item: _Item) -> None:
+        if not -32768 <= value <= 0xFFFF:
+            raise AssemblerError(
+                f"line {item.line_number}: immediate {value:#x} does not fit "
+                f"in 16 bits (use li/la or an imm prefix)")
+
+
+def _merge_chunks(chunks: list[tuple[int, bytes]]) -> list[tuple[int,
+                                                                 bytearray]]:
+    """Merge address-contiguous chunks into segments."""
+    segments: list[tuple[int, bytearray]] = []
+    for address, data in sorted(chunks, key=lambda pair: pair[0]):
+        if segments:
+            base, existing = segments[-1]
+            if base + len(existing) == address:
+                existing.extend(data)
+                continue
+            if address < base + len(existing):
+                raise AssemblerError(
+                    f"overlapping assembly output at {address:#x}")
+        segments.append((address, bytearray(data)))
+    return segments
+
+
+def assemble(source: str, origin: int = 0) -> Program:
+    """Convenience wrapper: assemble ``source`` with a fresh assembler."""
+    return Assembler().assemble(source, origin)

@@ -1,0 +1,110 @@
+"""Disassembler: decoded instructions back to readable assembly text.
+
+Used by the debugging examples and by the ISS trace facility, and in tests
+as the round-trip check against the assembler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datatypes import to_signed
+from . import encoding as enc
+from .decoder import Instruction, decode
+from .symbols import SymbolTable
+
+_SPR_NAMES = {
+    enc.SPR_PC: "rpc",
+    enc.SPR_MSR: "rmsr",
+    enc.SPR_EAR: "rear",
+    enc.SPR_ESR: "resr",
+}
+
+
+def disassemble_word(word: int, address: int = 0,
+                     symbols: Optional[SymbolTable] = None) -> str:
+    """Disassemble one instruction word."""
+    return format_instruction(decode(word), address, symbols)
+
+
+def format_instruction(instruction: Instruction, address: int = 0,
+                       symbols: Optional[SymbolTable] = None) -> str:
+    """Render a decoded instruction as assembly text."""
+    mnemonic = instruction.mnemonic
+    rd, ra, rb = instruction.rd, instruction.ra, instruction.rb
+    simm = to_signed(instruction.imm, 16)
+
+    if mnemonic == "imm":
+        return f"imm 0x{instruction.imm:04x}"
+    if mnemonic in ("cmp", "cmpu"):
+        return f"{mnemonic} r{rd}, r{ra}, r{rb}"
+    if mnemonic in ("sra", "src", "srl", "sext8", "sext16"):
+        return f"{mnemonic} r{rd}, r{ra}"
+    if mnemonic == "mfs":
+        spr = _SPR_NAMES.get(instruction.imm & 0x3FFF, "rpc")
+        return f"mfs r{rd}, {spr}"
+    if mnemonic == "mts":
+        spr = _SPR_NAMES.get(instruction.imm & 0x3FFF, "rpc")
+        return f"mts {spr}, r{ra}"
+    if mnemonic in ("msrset", "msrclr"):
+        return f"{mnemonic} r{rd}, 0x{instruction.imm & 0x3FFF:x}"
+    if mnemonic in ("rtsd", "rtid", "rtbd", "rted"):
+        return f"{mnemonic} r{ra}, {simm}"
+    if mnemonic in ("bsrli", "bsrai", "bslli"):
+        return f"{mnemonic} r{rd}, r{ra}, {instruction.imm & 0x1F}"
+
+    if instruction.opcode in (enc.OP_BR,):
+        if instruction.link:
+            return f"{mnemonic} r{rd}, r{rb}"
+        return f"{mnemonic} r{rb}"
+    if instruction.opcode in (enc.OP_BRI,):
+        target = _branch_target(instruction, address)
+        label = _label_for(target, symbols)
+        if instruction.link:
+            return f"{mnemonic} r{rd}, {label}"
+        return f"{mnemonic} {label}"
+    if instruction.opcode == enc.OP_BCC:
+        return f"{mnemonic} r{ra}, r{rb}"
+    if instruction.opcode == enc.OP_BCCI:
+        target = _branch_target(instruction, address)
+        return f"{mnemonic} r{ra}, {_label_for(target, symbols)}"
+
+    if instruction.fmt is enc.Format.TYPE_B:
+        return f"{mnemonic} r{rd}, r{ra}, {simm}"
+    return f"{mnemonic} r{rd}, r{ra}, r{rb}"
+
+
+def _branch_target(instruction: Instruction, address: int) -> int:
+    simm = to_signed(instruction.imm, 16)
+    if instruction.absolute:
+        return instruction.imm
+    return (address + simm) & 0xFFFF_FFFF
+
+
+def _label_for(target: int, symbols: Optional[SymbolTable]) -> str:
+    if symbols is not None:
+        names = symbols.names_at(target)
+        if names:
+            return names[0]
+    return f"0x{target:08x}"
+
+
+def disassemble_range(read_word, start: int, count: int,
+                      symbols: Optional[SymbolTable] = None) -> list[str]:
+    """Disassemble ``count`` words starting at ``start``.
+
+    ``read_word(address)`` supplies instruction words (e.g. a memory model's
+    debug read).  Undecodable words are rendered as ``.word`` directives.
+    """
+    lines = []
+    for index in range(count):
+        address = start + 4 * index
+        word = read_word(address)
+        try:
+            text = disassemble_word(word, address, symbols)
+        except Exception:
+            text = f".word 0x{word:08x}"
+        label_names = symbols.names_at(address) if symbols else ()
+        prefix = f"{label_names[0]}: " if label_names else ""
+        lines.append(f"{address:08x}: {prefix}{text}")
+    return lines

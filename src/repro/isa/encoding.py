@@ -1,0 +1,220 @@
+"""MicroBlaze instruction encodings.
+
+The MicroBlaze ISA uses two 32-bit instruction formats:
+
+* **Type A** -- ``opcode[6] rd[5] ra[5] rb[5] function[11]``
+* **Type B** -- ``opcode[6] rd[5] ra[5] imm[16]``
+
+This module defines the opcode map for the subset implemented by the ISS
+(sufficient for the synthetic uClinux boot workload: integer arithmetic,
+logic, shifts, multiply, loads/stores, branches with and without delay
+slots, ``IMM`` prefixes, special-register moves and interrupt returns), and
+field packing/extraction helpers shared by the assembler, disassembler and
+decoder.
+
+Note on bit numbering: Xilinx documentation numbers bit 0 as the most
+significant bit.  Here conventional little-endian bit numbering is used;
+the byte-level encodings are identical.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from ..datatypes import get_field, truncate
+
+
+class Format(Enum):
+    """Instruction format."""
+
+    TYPE_A = "A"
+    TYPE_B = "B"
+
+
+# --------------------------------------------------------------------------- #
+# Primary opcodes (bits 31..26)
+# --------------------------------------------------------------------------- #
+OP_ADD = 0x00
+OP_RSUB = 0x01
+OP_ADDC = 0x02
+OP_RSUBC = 0x03
+OP_ADDK = 0x04
+OP_RSUBK = 0x05          # also CMP / CMPU via the function field
+OP_ADDKC = 0x06
+OP_RSUBKC = 0x07
+OP_ADDI = 0x08
+OP_RSUBI = 0x09
+OP_ADDIC = 0x0A
+OP_RSUBIC = 0x0B
+OP_ADDIK = 0x0C
+OP_RSUBIK = 0x0D
+OP_ADDIKC = 0x0E
+OP_RSUBIKC = 0x0F
+OP_MUL = 0x10
+OP_BS = 0x11             # barrel shift (BSRL / BSRA / BSLL)
+OP_IDIV = 0x12
+OP_MULI = 0x18
+OP_BSI = 0x19            # barrel shift immediate
+OP_OR = 0x20
+OP_AND = 0x21
+OP_XOR = 0x22
+OP_ANDN = 0x23
+OP_SHIFT = 0x24          # SRA / SRC / SRL / SEXT8 / SEXT16
+OP_MSR = 0x25            # MFS / MTS / MSRSET / MSRCLR
+OP_BR = 0x26             # unconditional branch, register target
+OP_BCC = 0x27            # conditional branch, register target
+OP_ORI = 0x28
+OP_ANDI = 0x29
+OP_XORI = 0x2A
+OP_ANDNI = 0x2B
+OP_IMM = 0x2C
+OP_RET = 0x2D            # RTSD / RTID / RTBD / RTED
+OP_BRI = 0x2E            # unconditional branch, immediate target
+OP_BCCI = 0x2F           # conditional branch, immediate target
+OP_LBU = 0x30
+OP_LHU = 0x31
+OP_LW = 0x32
+OP_SB = 0x34
+OP_SH = 0x35
+OP_SW = 0x36
+OP_LBUI = 0x38
+OP_LHUI = 0x39
+OP_LWI = 0x3A
+OP_SBI = 0x3C
+OP_SHI = 0x3D
+OP_SWI = 0x3E
+
+# --------------------------------------------------------------------------- #
+# Secondary function codes
+# --------------------------------------------------------------------------- #
+# OP_SHIFT (0x24) low 16 bits select the operation.
+SHIFT_SRA = 0x0001
+SHIFT_SRC = 0x0021
+SHIFT_SRL = 0x0041
+SHIFT_SEXT8 = 0x0060
+SHIFT_SEXT16 = 0x0061
+
+# OP_RSUBK: bit0 of the function field turns RSUBK into CMP, bit1 into CMPU.
+CMP_FUNC = 0x0001
+CMPU_FUNC = 0x0003
+
+# Barrel-shift function bits (bits 10..9 of the function field).
+BS_SRL = 0x000    # logical right
+BS_SRA = 0x200    # arithmetic right
+BS_SLL = 0x400    # logical left
+
+# OP_BR: the ``ra`` field encodes the branch flavour.
+BR_PLAIN = 0x00      # BR   (relative)
+BR_LINK = 0x04       # BRL  (relative, link)
+BR_ABS = 0x08        # BRA  (absolute)
+BR_ABS_LINK = 0x0C   # BRAL (absolute, link)
+BR_DELAY = 0x10      # D bit: delay slot variants add this to the code above
+
+# OP_BCC / OP_BCCI: the ``rd`` field encodes the condition.
+COND_EQ = 0x00
+COND_NE = 0x01
+COND_LT = 0x02
+COND_LE = 0x03
+COND_GT = 0x04
+COND_GE = 0x05
+COND_DELAY = 0x10    # D bit
+
+# OP_RET: the ``rd`` field selects the return flavour.
+RET_RTSD = 0x10
+RET_RTID = 0x11
+RET_RTBD = 0x12
+RET_RTED = 0x14
+
+# OP_MSR: the function/imm field distinguishes MFS / MTS / MSRCLR / MSRSET.
+MSR_MTS = 0xC000
+MSR_MFS = 0x8000
+MSR_MSRCLR = 0x0200
+MSR_MSRSET = 0x0000
+
+# Special-register numbers used with MFS/MTS.
+SPR_PC = 0x0000
+SPR_MSR = 0x0001
+SPR_EAR = 0x0003
+SPR_ESR = 0x0005
+
+#: Vector addresses defined by the MicroBlaze architecture.
+RESET_VECTOR = 0x00000000
+INTERRUPT_VECTOR = 0x00000010
+EXCEPTION_VECTOR = 0x00000020
+
+
+# --------------------------------------------------------------------------- #
+# field packing / extraction
+# --------------------------------------------------------------------------- #
+def pack_type_a(opcode: int, rd: int, ra: int, rb: int,
+                function: int = 0) -> int:
+    """Assemble a type-A instruction word."""
+    _check_register(rd, "rd")
+    _check_register(ra, "ra")
+    _check_register(rb, "rb")
+    if not 0 <= function < (1 << 11):
+        raise ValueError(f"function field out of range: {function:#x}")
+    return ((opcode & 0x3F) << 26 | rd << 21 | ra << 16 | rb << 11
+            | function)
+
+
+def pack_type_b(opcode: int, rd: int, ra: int, imm: int) -> int:
+    """Assemble a type-B instruction word (16-bit immediate, truncated)."""
+    _check_register(rd, "rd")
+    _check_register(ra, "ra")
+    return ((opcode & 0x3F) << 26 | rd << 21 | ra << 16
+            | truncate(imm, 16))
+
+
+def opcode_of(word: int) -> int:
+    """Primary opcode of an instruction word."""
+    return get_field(word, 31, 26)
+
+
+def rd_of(word: int) -> int:
+    """Destination register field."""
+    return get_field(word, 25, 21)
+
+
+def ra_of(word: int) -> int:
+    """First source register field."""
+    return get_field(word, 20, 16)
+
+
+def rb_of(word: int) -> int:
+    """Second source register field (type A)."""
+    return get_field(word, 15, 11)
+
+
+def imm_of(word: int) -> int:
+    """16-bit immediate field (type B), unsigned."""
+    return get_field(word, 15, 0)
+
+
+def function_of(word: int) -> int:
+    """Low 11-bit function field (type A)."""
+    return get_field(word, 10, 0)
+
+
+def function16_of(word: int) -> int:
+    """Low 16 bits, used by shift/MSR instructions as an extended function."""
+    return get_field(word, 15, 0)
+
+
+def _check_register(index: int, label: str) -> None:
+    if not 0 <= index < 32:
+        raise ValueError(f"register field {label} out of range: {index}")
+
+
+#: Opcodes whose instructions are type B (carry a 16-bit immediate).
+TYPE_B_OPCODES = frozenset({
+    OP_ADDI, OP_RSUBI, OP_ADDIC, OP_RSUBIC, OP_ADDIK, OP_RSUBIK, OP_ADDIKC,
+    OP_RSUBIKC, OP_MULI, OP_BSI, OP_ORI, OP_ANDI, OP_XORI, OP_ANDNI, OP_IMM,
+    OP_RET, OP_BRI, OP_BCCI, OP_LBUI, OP_LHUI, OP_LWI, OP_SBI, OP_SHI,
+    OP_SWI, OP_MSR,
+})
+
+
+def format_of(opcode: int) -> Format:
+    """Whether ``opcode`` is a type-A or type-B instruction."""
+    return Format.TYPE_B if opcode in TYPE_B_OPCODES else Format.TYPE_A

@@ -1,0 +1,21 @@
+"""MicroBlaze ISS: functional core, statistics, interception, SystemC wrapper."""
+
+from .core import MicroBlazeCore, StepResult
+from .functional import FunctionalMicroBlaze
+from .interception import (InterceptionResult, KernelFunctionInterceptor,
+                           memcpy_handler, memset_handler)
+from .statistics import ExecutionStatistics
+from .wrapper import INTERRUPT_ENTRY_CYCLES, MicroBlazeWrapper
+
+__all__ = [
+    "ExecutionStatistics",
+    "FunctionalMicroBlaze",
+    "INTERRUPT_ENTRY_CYCLES",
+    "InterceptionResult",
+    "KernelFunctionInterceptor",
+    "MicroBlazeCore",
+    "MicroBlazeWrapper",
+    "StepResult",
+    "memcpy_handler",
+    "memset_handler",
+]

@@ -1,0 +1,225 @@
+"""SystemC-style wrapper around the MicroBlaze ISS.
+
+This is the pin/cycle-accurate ``sc_module`` of the paper's section 4: the
+ISS itself is "standard C++" (here: :class:`~repro.iss.core.MicroBlazeCore`)
+and only the component interface -- the OPB master ports, the LMB port and
+the interrupt input -- lives in the simulation kernel's world.
+
+Per instruction, the wrapper:
+
+1. optionally lets the kernel-function interceptor replace a whole call to
+   ``memset``/``memcpy`` with a zero-time native execution (section 5.4);
+2. fetches the instruction word, via the LMB (1 cycle), the memory
+   dispatcher (1 cycle, section 5.1) or a full OPB transfer (>= 3 cycles);
+3. pre-executes any data access the decoded instruction needs, again via
+   LMB / dispatcher / OPB (section 5.2 decides which);
+4. lets the core execute the instruction in zero simulation time -- "multi
+   cycle operation can be carried out in zero simulation time and then the
+   result delayed for required amount of cycles".
+
+Every routing decision can change between instructions, which is what makes
+the non-cycle-accurate optimisations run-time switchable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
+from ..bus.opb import OpbMasterPort
+from ..kernel.errors import ModelError
+from ..kernel.module import Module
+from ..kernel.scheduler import Simulator
+from ..peripherals.dispatcher import MemoryDispatcher
+from ..signals import Signal
+from .core import MicroBlazeCore
+from .interception import KernelFunctionInterceptor
+
+#: Cycles accounted for vectoring to the interrupt handler.
+INTERRUPT_ENTRY_CYCLES = 2
+
+
+class MicroBlazeWrapper(Module):
+    """Cycle-accurate MicroBlaze: ISS core plus bus interface processes."""
+
+    def __init__(self, sim: Simulator, name: str, clock,
+                 instruction_port: OpbMasterPort,
+                 data_port: OpbMasterPort,
+                 lmb: Optional[LocalMemoryBus] = None,
+                 dispatcher: Optional[MemoryDispatcher] = None,
+                 interceptor: Optional[KernelFunctionInterceptor] = None,
+                 interrupt_signal: Optional[Signal] = None,
+                 reset_pc: int = 0) -> None:
+        super().__init__(sim, name)
+        self.clock = clock
+        self.instruction_port = instruction_port
+        self.data_port = data_port
+        self.lmb = lmb
+        self.dispatcher = dispatcher
+        self.interceptor = interceptor
+        self.core = MicroBlazeCore(fetch=self._serve_fetch,
+                                   load=self._serve_load,
+                                   store=self._capture_store,
+                                   reset_pc=reset_pc)
+        #: Address that stops execution when the PC reaches it.
+        self.halt_address: Optional[int] = None
+        #: Optional cap on retired instructions (benchmark budgets).
+        self.max_instructions: Optional[int] = None
+        self.finished = False
+        self._fetched_word = 0
+        self._load_value = 0
+        self._instruction_cycles = 0
+        self.main_process = self.sc_thread(
+            self._execute_thread, sensitive=[clock.posedge_event()],
+            name="execute")
+        if interrupt_signal is not None:
+            self.interrupt_signal = interrupt_signal
+            self.sc_method(self._sample_interrupt,
+                           sensitive=[interrupt_signal.default_event()],
+                           dont_initialize=True, name="irq_sample")
+        else:
+            self.interrupt_signal = None
+
+    # -- core memory-interface callbacks -------------------------------------
+    def _serve_fetch(self, address: int) -> int:
+        return self._fetched_word
+
+    def _serve_load(self, address: int, size: int) -> int:
+        return self._load_value
+
+    def _capture_store(self, address: int, value: int, size: int) -> None:
+        # The wrapper already performed the store over the bus before the
+        # core executed the instruction; nothing remains to do.
+        return None
+
+    def _sample_interrupt(self) -> None:
+        if self.interrupt_signal.value:
+            self.core.raise_interrupt()
+        else:
+            self.core.clear_interrupt()
+
+    # -- execution control -------------------------------------------------------
+    def set_halt_address(self, address: Optional[int]) -> None:
+        """Stop executing when the PC reaches ``address``."""
+        self.halt_address = address
+
+    def set_instruction_budget(self, budget: Optional[int]) -> None:
+        """Stop executing after ``budget`` more retired instructions."""
+        if budget is None:
+            self.max_instructions = None
+        else:
+            self.max_instructions = self.core.stats.instructions_retired \
+                + budget
+        self.finished = False
+
+    @property
+    def retired_instructions(self) -> int:
+        """Instructions retired so far."""
+        return self.core.stats.instructions_retired
+
+    # -- the execute thread --------------------------------------------------------
+    def _execute_thread(self):
+        core = self.core
+        while True:
+            if self.finished:
+                # Idle until a new budget or halt target re-arms execution.
+                yield self.clock.period_ps * 64
+                continue
+            if self._should_stop():
+                self.finished = True
+                continue
+            if self.interceptor is not None:
+                self.interceptor.maybe_intercept(core)
+                if self._should_stop():
+                    self.finished = True
+                    continue
+            self._instruction_cycles = 0
+            if core.interrupt_will_be_taken():
+                core.step()
+                core.stats.add_cycles(INTERRUPT_ENTRY_CYCLES)
+                for __ in range(INTERRUPT_ENTRY_CYCLES):
+                    yield None
+                continue
+            # ---- instruction fetch ---------------------------------------
+            pc = core.pc
+            word = yield from self._fetch(pc)
+            instruction = core.decode_cache.lookup(word)
+            # ---- data access (performed ahead of the zero-time execute) --
+            if instruction.is_load:
+                address = core.preview_effective_address(instruction)
+                self._load_value = yield from self._data_read(
+                    address, instruction.access_size)
+            elif instruction.is_store:
+                address = core.preview_effective_address(instruction)
+                value = core.preview_store_value(instruction)
+                yield from self._data_write(address, value,
+                                            instruction.access_size)
+            # ---- execute in zero simulation time --------------------------
+            self._fetched_word = word
+            core.step()
+            core.stats.add_cycles(self._instruction_cycles)
+
+    def _should_stop(self) -> bool:
+        if self.max_instructions is not None \
+                and self.core.stats.instructions_retired \
+                >= self.max_instructions:
+            return True
+        return (self.halt_address is not None
+                and self.core.pc == self.halt_address
+                and not self.core.in_delay_slot)
+
+    # -- routed accesses ---------------------------------------------------------------
+    def _fetch(self, address: int):
+        if self.lmb is not None and self.lmb.claims(address, 4):
+            word = self.lmb.read(address, 4)
+            yield from self._consume_cycles(LMB_ACCESS_CYCLES)
+            return word
+        if self.dispatcher is not None \
+                and self.dispatcher.serves_fetch(address):
+            word, cycles = self.dispatcher.fetch(address)
+            yield from self._consume_cycles(cycles)
+            return word
+        word, cycles = yield from self.instruction_port.transfer(address,
+                                                                 None, 4)
+        self._instruction_cycles += cycles
+        if word is None:
+            raise ModelError(f"instruction fetch from {address:#010x} "
+                             f"returned no data")
+        return word
+
+    def _data_read(self, address: int, size: int):
+        if self.lmb is not None and self.lmb.claims(address, size):
+            value = self.lmb.read(address, size)
+            yield from self._consume_cycles(LMB_ACCESS_CYCLES)
+            return value
+        if self.dispatcher is not None \
+                and self.dispatcher.serves_data(address, size):
+            value, cycles = self.dispatcher.read(address, size)
+            yield from self._consume_cycles(cycles)
+            return value
+        value, cycles = yield from self.data_port.transfer(address, None,
+                                                           size)
+        self._instruction_cycles += cycles
+        return value
+
+    def _data_write(self, address: int, value: int, size: int):
+        if self.lmb is not None and self.lmb.claims(address, size):
+            self.lmb.write(address, value, size)
+            yield from self._consume_cycles(LMB_ACCESS_CYCLES)
+            return
+        if self.dispatcher is not None \
+                and self.dispatcher.serves_data(address, size):
+            cycles = self.dispatcher.write(address, value, size)
+            yield from self._consume_cycles(cycles)
+            return
+        __, cycles = yield from self.data_port.transfer(address, value, size)
+        self._instruction_cycles += cycles
+
+    def _consume_cycles(self, cycles: int):
+        for __ in range(cycles):
+            yield None
+        self._instruction_cycles += cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"MicroBlazeWrapper({self.name!r}, "
+                f"pc={self.core.pc:#010x}, finished={self.finished})")

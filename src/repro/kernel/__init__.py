@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel with SystemC semantics.
+
+Public surface:
+
+* :class:`Simulator` -- the scheduler / simulation context.
+* :class:`Module` -- base class for hardware models.
+* :class:`Event`, :class:`EventOrList` -- synchronisation primitives.
+* :class:`ThreadProcess`, :class:`MethodProcess` -- process kinds.
+* :class:`SimTime`, :class:`TimeUnit` -- time representation.
+* :class:`KernelStatistics` -- scheduling-work counters.
+"""
+
+from .errors import (AddressError, AlignmentError, AssemblerError,
+                     BindingError, DecodeError, KernelError, ModelError,
+                     MultipleDriverError, ReproError, SimulationFinished,
+                     SimulationStopped)
+from .events import Event, EventOrList
+from .module import Module, negedge, posedge
+from .process import MethodProcess, Process, ThreadProcess
+from .scheduler import KernelStatistics, Simulator
+from .simtime import SimTime, TimeUnit, ZERO_TIME, to_picoseconds
+
+__all__ = [
+    "AddressError",
+    "AlignmentError",
+    "AssemblerError",
+    "BindingError",
+    "DecodeError",
+    "Event",
+    "EventOrList",
+    "KernelError",
+    "KernelStatistics",
+    "MethodProcess",
+    "ModelError",
+    "Module",
+    "MultipleDriverError",
+    "Process",
+    "ReproError",
+    "SimTime",
+    "SimulationFinished",
+    "SimulationStopped",
+    "Simulator",
+    "ThreadProcess",
+    "TimeUnit",
+    "ZERO_TIME",
+    "negedge",
+    "posedge",
+    "to_picoseconds",
+]

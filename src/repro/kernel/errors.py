@@ -1,0 +1,60 @@
+"""Exception hierarchy for the simulation kernel.
+
+A small, explicit set of exception types so callers can distinguish
+user/model errors (``ModelError``) from kernel misuse (``KernelError``)
+and from deliberate simulation termination (``SimulationStopped``).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class KernelError(ReproError):
+    """The simulation kernel was used incorrectly.
+
+    Examples: waiting outside a thread process, binding a port twice,
+    scheduling after the simulation has finished.
+    """
+
+
+class ModelError(ReproError):
+    """A hardware model detected an inconsistent or illegal condition.
+
+    Examples: multiple drivers on an unresolved signal, an out-of-range
+    bus address, a peripheral register misuse.
+    """
+
+
+class BindingError(KernelError):
+    """A port was left unbound or bound to an incompatible channel."""
+
+
+class MultipleDriverError(ModelError):
+    """More than one process drove an unresolved signal in the same cycle."""
+
+
+class AddressError(ModelError):
+    """A bus transaction targeted an address no slave claims."""
+
+
+class AlignmentError(ModelError):
+    """A memory access violated the alignment rules of the bus."""
+
+
+class DecodeError(ModelError):
+    """An instruction word could not be decoded."""
+
+
+class AssemblerError(ReproError):
+    """The assembler rejected a source line."""
+
+
+class SimulationStopped(ReproError):
+    """Raised internally to unwind when ``Simulator.stop()`` is called."""
+
+
+class SimulationFinished(ReproError):
+    """Raised when an operation requires a still-running simulation."""

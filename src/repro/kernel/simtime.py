@@ -1,0 +1,156 @@
+"""Simulation time representation.
+
+Simulation time is kept as an integer number of picoseconds, mirroring
+SystemC's integer time resolution.  The :class:`SimTime` helper provides
+readable constructors (``SimTime.ns(10)``) and arithmetic, while the rest of
+the kernel works with plain integers for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class TimeUnit(Enum):
+    """Time units supported by the kernel, named after the SystemC enums."""
+
+    SC_FS = 1e-3
+    SC_PS = 1.0
+    SC_NS = 1e3
+    SC_US = 1e6
+    SC_MS = 1e9
+    SC_SEC = 1e12
+
+    @property
+    def picoseconds(self) -> float:
+        """Number of picoseconds in one unit."""
+        return self.value
+
+
+#: Number of picoseconds per unit, keyed by unit name for quick lookup.
+_PS_PER_UNIT = {
+    "fs": 1e-3,
+    "ps": 1.0,
+    "ns": 1e3,
+    "us": 1e6,
+    "ms": 1e9,
+    "s": 1e12,
+    "sec": 1e12,
+}
+
+
+def to_picoseconds(value: float, unit: "TimeUnit | str") -> int:
+    """Convert ``value`` expressed in ``unit`` into integer picoseconds.
+
+    ``unit`` may be a :class:`TimeUnit` member or a short string such as
+    ``"ns"``.  Fractional picoseconds are rounded to the nearest integer.
+    """
+    if isinstance(unit, TimeUnit):
+        factor = unit.picoseconds
+    else:
+        try:
+            factor = _PS_PER_UNIT[unit.lower()]
+        except KeyError as exc:
+            raise ValueError(f"unknown time unit: {unit!r}") from exc
+    return int(round(value * factor))
+
+
+@dataclass(frozen=True, order=True)
+class SimTime:
+    """An absolute or relative simulation time, stored in picoseconds.
+
+    The class is immutable and ordered, so it can be used directly as a heap
+    key or dictionary key.
+    """
+
+    picoseconds: int = 0
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def fs(cls, value: float) -> "SimTime":
+        """Create a time from femtoseconds."""
+        return cls(to_picoseconds(value, "fs"))
+
+    @classmethod
+    def ps(cls, value: float) -> "SimTime":
+        """Create a time from picoseconds."""
+        return cls(int(round(value)))
+
+    @classmethod
+    def ns(cls, value: float) -> "SimTime":
+        """Create a time from nanoseconds."""
+        return cls(to_picoseconds(value, "ns"))
+
+    @classmethod
+    def us(cls, value: float) -> "SimTime":
+        """Create a time from microseconds."""
+        return cls(to_picoseconds(value, "us"))
+
+    @classmethod
+    def ms(cls, value: float) -> "SimTime":
+        """Create a time from milliseconds."""
+        return cls(to_picoseconds(value, "ms"))
+
+    @classmethod
+    def sec(cls, value: float) -> "SimTime":
+        """Create a time from seconds."""
+        return cls(to_picoseconds(value, "s"))
+
+    # -- conversions -------------------------------------------------------
+    def to_ns(self) -> float:
+        """Return the time expressed in nanoseconds."""
+        return self.picoseconds / 1e3
+
+    def to_us(self) -> float:
+        """Return the time expressed in microseconds."""
+        return self.picoseconds / 1e6
+
+    def to_seconds(self) -> float:
+        """Return the time expressed in seconds."""
+        return self.picoseconds / 1e12
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other: "SimTime | int") -> "SimTime":
+        return SimTime(self.picoseconds + _as_ps(other))
+
+    def __radd__(self, other: "SimTime | int") -> "SimTime":
+        return self.__add__(other)
+
+    def __sub__(self, other: "SimTime | int") -> "SimTime":
+        return SimTime(self.picoseconds - _as_ps(other))
+
+    def __mul__(self, factor: int) -> "SimTime":
+        return SimTime(self.picoseconds * factor)
+
+    def __rmul__(self, factor: int) -> "SimTime":
+        return self.__mul__(factor)
+
+    def __int__(self) -> int:
+        return self.picoseconds
+
+    def __bool__(self) -> bool:
+        return self.picoseconds != 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimTime({self.picoseconds} ps)"
+
+    def __str__(self) -> str:
+        ps = self.picoseconds
+        if ps == 0:
+            return "0 s"
+        for suffix, factor in (("s", 1e12), ("ms", 1e9), ("us", 1e6),
+                               ("ns", 1e3), ("ps", 1.0)):
+            if ps >= factor:
+                return f"{ps / factor:g} {suffix}"
+        return f"{ps} ps"
+
+
+ZERO_TIME = SimTime(0)
+
+
+def _as_ps(value: "SimTime | int | float") -> int:
+    """Coerce a :class:`SimTime`, ``int`` or ``float`` into picoseconds."""
+    if isinstance(value, SimTime):
+        return value.picoseconds
+    return int(value)

@@ -1,0 +1,120 @@
+"""OPB Interrupt Controller.
+
+Gathers the level interrupt outputs of the peripherals (timer, UARTs,
+Ethernet MAC) into the single interrupt input of the MicroBlaze.  Register
+map (word offsets), following the Xilinx OPB INTC:
+
+====== ===== ==========================================
+offset name  behaviour
+====== ===== ==========================================
+0x00   ISR   interrupt status (latched inputs)
+0x04   IPR   pending = ISR & IER (read only)
+0x08   IER   interrupt enable mask
+0x0C   IAR   acknowledge: write 1s to clear ISR bits
+0x10   SIE   set enable bits
+0x14   CIE   clear enable bits
+0x1C   MER   master enable (bit0) / hardware enable (bit1)
+====== ===== ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bus.opb import OpbSlave
+from ..bus.signals import OpbInterconnect
+from ..kernel.scheduler import Simulator
+from ..signals import Signal
+
+
+class InterruptController(OpbSlave):
+    """Level-sensitive interrupt concentrator."""
+
+    latency = 1
+
+    REG_ISR = 0x00
+    REG_IPR = 0x04
+    REG_IER = 0x08
+    REG_IAR = 0x0C
+    REG_SIE = 0x10
+    REG_CIE = 0x14
+    REG_MER = 0x1C
+
+    def __init__(self, sim: Simulator, name: str, base_address: int,
+                 interconnect: OpbInterconnect, clock,
+                 use_method: bool = True,
+                 poll_process: bool = True,
+                 **slave_options) -> None:
+        super().__init__(sim, name, base_address, 0x100, interconnect, clock,
+                         use_method=use_method, **slave_options)
+        self.isr = 0
+        self.ier = 0
+        self.mer = 0
+        #: Interrupt output towards the MicroBlaze.
+        self.irq = Signal(sim, f"{name}.irq", 0)
+        self._inputs: list[tuple[int, Signal]] = []
+        self._poll_process = None
+        if poll_process:
+            self._poll_process = self.sc_process(
+                self._poll_inputs, sensitive=[clock.posedge_event()],
+                use_method=use_method, dont_initialize=True)
+
+    # -- wiring ---------------------------------------------------------------
+    def connect_input(self, bit: int, source: Signal) -> None:
+        """Connect a peripheral interrupt output to input ``bit``."""
+        if not 0 <= bit < 32:
+            raise ValueError(f"interrupt input bit out of range: {bit}")
+        self._inputs.append((bit, source))
+
+    @property
+    def input_count(self) -> int:
+        """Number of connected interrupt sources."""
+        return len(self._inputs)
+
+    # -- register interface -------------------------------------------------------
+    def read_register(self, offset: int, size: int) -> int:
+        offset &= 0x1F
+        if offset == self.REG_ISR:
+            return self.isr
+        if offset == self.REG_IPR:
+            return self.isr & self.ier
+        if offset == self.REG_IER:
+            return self.ier
+        if offset == self.REG_MER:
+            return self.mer
+        return 0
+
+    def write_register(self, offset: int, value: int, size: int) -> None:
+        offset &= 0x1F
+        if offset == self.REG_IER:
+            self.ier = value
+        elif offset == self.REG_IAR:
+            self.isr &= ~value
+        elif offset == self.REG_SIE:
+            self.ier |= value
+        elif offset == self.REG_CIE:
+            self.ier &= ~value
+        elif offset == self.REG_MER:
+            self.mer = value & 0x3
+        elif offset == self.REG_ISR:
+            # Software may set status bits directly (simulation aid).
+            self.isr |= value
+        self._update_output()
+
+    # -- behaviour --------------------------------------------------------------------
+    def _poll_inputs(self) -> None:
+        """Latch the level inputs into ISR each cycle and drive the output."""
+        for bit, source in self._inputs:
+            if source.value:
+                self.isr |= (1 << bit)
+        self._update_output()
+
+    def _update_output(self) -> None:
+        enabled = bool(self.mer & 0x1)
+        pending = self.isr & self.ier
+        self.irq.write(1 if (enabled and pending) else 0)
+
+    @property
+    def pending(self) -> int:
+        """Currently pending (enabled and latched) interrupts."""
+        return self.isr & self.ier

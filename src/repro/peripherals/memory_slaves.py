@@ -1,0 +1,83 @@
+"""OPB-attached memory controllers: SDRAM, SRAM and FLASH.
+
+Each controller couples a :class:`~repro.peripherals.memory.MemoryStorage`
+backing store to the OPB slave protocol with a per-device acknowledge
+latency.  The backing store itself stays reachable without the bus, which
+is what lets the memory dispatcher (section 5.1/5.2) and the
+kernel-function interceptor (section 5.4) bypass the cycle-accurate path
+while preserving the architectural contents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bus.opb import OpbSlave
+from ..bus.signals import OpbInterconnect
+from ..kernel.scheduler import Simulator
+from .memory import MemoryStorage
+
+
+class MemorySlave(OpbSlave):
+    """A memory region attached to the OPB."""
+
+    latency = 1
+
+    def __init__(self, sim: Simulator, name: str, base_address: int,
+                 size: int, interconnect: OpbInterconnect, clock,
+                 latency: Optional[int] = None,
+                 read_only: bool = False,
+                 storage: Optional[MemoryStorage] = None,
+                 **slave_options) -> None:
+        super().__init__(sim, name, base_address, size, interconnect, clock,
+                         **slave_options)
+        if latency is not None:
+            self.latency = latency
+        self.storage = storage if storage is not None else MemoryStorage(
+            name, base_address, size, read_only=read_only)
+
+    def handle_access(self, address: int, write_value: Optional[int],
+                      size: int) -> int:
+        if write_value is None:
+            return self.storage.read(address, size)
+        if self.storage.read_only:
+            # Writes to FLASH without the programming protocol are ignored,
+            # as on the real part.
+            return 0
+        self.storage.write(address, write_value, size)
+        return 0
+
+
+class SdramController(MemorySlave):
+    """32 MB SDDR RAM controller -- the platform's main memory.
+
+    SDRAM has the longest acknowledge latency on the bus, so instruction
+    fetches from it dominate simulated cycles; this is exactly the traffic
+    the memory dispatcher removes.
+    """
+
+    latency = 2
+
+    def __init__(self, sim: Simulator, name: str, base_address: int,
+                 size: int, interconnect: OpbInterconnect, clock,
+                 **slave_options) -> None:
+        super().__init__(sim, name, base_address, size, interconnect, clock,
+                         **slave_options)
+
+
+class SramController(MemorySlave):
+    """4 MB asynchronous SRAM controller."""
+
+    latency = 1
+
+
+class FlashController(MemorySlave):
+    """32 MB FLASH controller (read-only from the bus)."""
+
+    latency = 1
+
+    def __init__(self, sim: Simulator, name: str, base_address: int,
+                 size: int, interconnect: OpbInterconnect, clock,
+                 **slave_options) -> None:
+        super().__init__(sim, name, base_address, size, interconnect, clock,
+                         read_only=True, **slave_options)

@@ -1,0 +1,19 @@
+"""Platform assembly: memory map, model configurations, the VanillaNet system."""
+
+from . import memory_map
+from .config import (ModelConfig, PAPER_EFFECTIVE_CPS_KHZ_CAPTURE,
+                     PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
+                     VariantName, all_systemc_variants, variant_config)
+from .vanillanet import VanillaNetPlatform
+
+__all__ = [
+    "ModelConfig",
+    "PAPER_EFFECTIVE_CPS_KHZ_CAPTURE",
+    "PAPER_FIGURE2_BOOT_MINUTES",
+    "PAPER_FIGURE2_CPS_KHZ",
+    "VanillaNetPlatform",
+    "VariantName",
+    "all_systemc_variants",
+    "memory_map",
+    "variant_config",
+]

@@ -1,0 +1,6 @@
+"""RTL HDL baseline model (the slowest bar of Figure 2)."""
+
+from .primitives import RtlCombinational, RtlRegister
+from .rtl_system import RtlVanillaNetSystem
+
+__all__ = ["RtlCombinational", "RtlRegister", "RtlVanillaNetSystem"]

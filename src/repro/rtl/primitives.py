@@ -1,0 +1,120 @@
+"""RTL-style primitives: registers and combinational blocks.
+
+The RTL HDL baseline of Figure 2 is slow for structural reasons: the
+generated netlist has a separate process per register and per combinational
+block, every signal is a resolved multi-valued vector, and all of it is
+scheduled every clock cycle.  These primitives reproduce that structure:
+each :class:`RtlRegister` is one clocked process reading resolved-vector
+ports and driving a resolved-vector output, and each
+:class:`RtlCombinational` is one process re-evaluated every cycle.
+
+The point is *not* logical minimality -- it is that simulating a model
+built from these costs what simulating RTL costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..kernel.module import Module
+from ..kernel.scheduler import Simulator
+from ..signals import ResolvedSignal
+from ..signals.ports import InPort, OutPort
+
+
+class RtlRegister(Module):
+    """A clocked register with enable and synchronous reset.
+
+    One simulation process per register, exactly as in a generated RTL
+    netlist.  All connections are resolved logic vectors.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock, width: int = 32,
+                 reset_value: int = 0) -> None:
+        super().__init__(sim, name)
+        self.width = width
+        self.reset_value = reset_value
+        self.d = ResolvedSignal(sim, f"{name}.d", width, reset_value)
+        self.q = ResolvedSignal(sim, f"{name}.q", width, reset_value)
+        self.enable = ResolvedSignal(sim, f"{name}.enable", 1, 0)
+        self.reset = ResolvedSignal(sim, f"{name}.reset", 1, 0)
+        self._d_port: InPort = InPort(f"{name}.d_port")
+        self._enable_port: InPort = InPort(f"{name}.en_port")
+        self._reset_port: InPort = InPort(f"{name}.rst_port")
+        self._q_port: OutPort = OutPort(f"{name}.q_port")
+        self._d_port.bind(self.d)
+        self._enable_port.bind(self.enable)
+        self._reset_port.bind(self.reset)
+        self._q_port.bind(self.q)
+        #: Committed value mirrored as a plain integer for fast observation.
+        self.value = reset_value
+        self.sc_method(self._clocked, sensitive=[clock.posedge_event()],
+                       dont_initialize=True, name="ff")
+
+    def _clocked(self) -> None:
+        reset = self._reset_port.read()
+        try:
+            reset_active = reset.bit(0).to_bool()
+        except ValueError:
+            reset_active = False
+        if reset_active:
+            self._q_port.write(self.reset_value)
+            self.value = self.reset_value
+            return
+        enable = self._enable_port.read()
+        try:
+            enabled = enable.bit(0).to_bool()
+        except ValueError:
+            enabled = False
+        if not enabled:
+            return
+        data = self._d_port.read()
+        self._q_port.write(data)
+        if data.is_known():
+            self.value = data.to_int()
+
+    # -- behavioural back door used by the RTL control FSM ------------------
+    def load(self, value: int) -> None:
+        """Drive the register inputs so the value is captured this cycle."""
+        self.d.write(value, driver=self)
+        self.enable.write(1, driver=self)
+
+    def hold(self) -> None:
+        """Deassert the enable input."""
+        self.enable.write(0, driver=self)
+
+
+class RtlCombinational(Module):
+    """A combinational block re-evaluated every clock cycle.
+
+    Generated RTL commonly re-evaluates address decoders and next-state
+    logic on the clock rather than on input changes; modelling it that way
+    reproduces the per-cycle scheduling load of the netlist.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock,
+                 inputs: Iterable[ResolvedSignal],
+                 output: ResolvedSignal,
+                 function: Callable[[list[int]], int]) -> None:
+        super().__init__(sim, name)
+        self.function = function
+        self.output = output
+        self._input_ports: list[InPort] = []
+        for index, signal in enumerate(inputs):
+            port = InPort(f"{name}.in{index}")
+            port.bind(signal)
+            self._input_ports.append(port)
+        self._output_port: OutPort = OutPort(f"{name}.out")
+        self._output_port.bind(output)
+        #: Number of evaluations (per-cycle scheduling evidence).
+        self.evaluations = 0
+        self.sc_method(self._evaluate, sensitive=[clock.posedge_event()],
+                       dont_initialize=True, name="comb")
+
+    def _evaluate(self) -> None:
+        self.evaluations += 1
+        values = []
+        for port in self._input_ports:
+            vector = port.read()
+            values.append(vector.to_int() if vector.is_known() else 0)
+        self._output_port.write(self.function(values) & ((1 << self.output.width) - 1))

@@ -1,0 +1,27 @@
+"""Channels and ports: signals, resolved signals, clocks, FIFOs, ports."""
+
+from .clock import Clock, ManualClock
+from .fifo import Fifo
+from .ports import (CachingInPort, InOutPort, InPort, OutPort, Port,
+                    bind_ports)
+from .signal import (DataMode, ResolvedSignal, Signal, SignalBase,
+                     UnresolvedSignal, make_signal, signal_value_to_int)
+
+__all__ = [
+    "CachingInPort",
+    "Clock",
+    "DataMode",
+    "Fifo",
+    "InOutPort",
+    "InPort",
+    "ManualClock",
+    "OutPort",
+    "Port",
+    "ResolvedSignal",
+    "Signal",
+    "SignalBase",
+    "UnresolvedSignal",
+    "bind_ports",
+    "make_signal",
+    "signal_value_to_int",
+]

@@ -1,0 +1,179 @@
+"""Clock generator (``sc_clock``).
+
+The clock is a primitive channel that schedules its own edges directly in
+the timed queue (no process is spawned for it), toggling its boolean value
+and notifying the positive/negative edge events.  Synchronous model
+processes are made sensitive to :meth:`Clock.posedge_event`.
+
+The clock also counts its positive edges; the experiment harness divides
+that count by wall-clock time to obtain the paper's figure of merit,
+simulated Clock cycles Per Second (CPS).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.events import Event
+from ..kernel.scheduler import Simulator
+from ..kernel.simtime import SimTime, _as_ps
+
+
+class Clock:
+    """A free-running two-phase clock.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Diagnostic name.
+    period:
+        Clock period (``SimTime`` or integer picoseconds).
+    duty_cycle:
+        Fraction of the period spent high.
+    start_low:
+        When True (default) the first event is a rising edge after
+        ``period * (1 - duty_cycle)``; when False the clock starts high.
+    """
+
+    def __init__(self, sim: Simulator, name: str,
+                 period: "SimTime | int" = SimTime.ns(10),
+                 duty_cycle: float = 0.5,
+                 start_low: bool = True) -> None:
+        if not 0.0 < duty_cycle < 1.0:
+            raise ValueError("duty_cycle must be strictly between 0 and 1")
+        self.sim = sim
+        self.name = name
+        self.period_ps = _as_ps(period)
+        if self.period_ps <= 1:
+            raise ValueError("clock period must be at least 2 ps")
+        self.high_ps = max(1, int(round(self.period_ps * duty_cycle)))
+        self.low_ps = self.period_ps - self.high_ps
+        self._value = not start_low
+        self._posedge_event = Event(sim, f"{name}.posedge")
+        self._negedge_event = Event(sim, f"{name}.negedge")
+        self._changed_event = Event(sim, f"{name}.value_changed")
+        #: Number of rising edges generated so far.
+        self.posedge_count = 0
+        #: Number of falling edges generated so far.
+        self.negedge_count = 0
+        self._running = True
+        self._update_requested = False  # primitive-channel protocol stub
+        # With ``start_low`` the first rising edge happens one full period in,
+        # so posedge number N falls at time N * period.
+        first_delay = self.period_ps if start_low else self.high_ps
+        sim.schedule_action(first_delay, self._edge)
+
+    # -- signal-like interface ---------------------------------------------
+    def read(self) -> bool:
+        """Current clock level."""
+        return self._value
+
+    @property
+    def value(self) -> bool:
+        """Current clock level (property form)."""
+        return self._value
+
+    def default_event(self) -> Event:
+        """Value-changed event (either edge)."""
+        return self._changed_event
+
+    def posedge_event(self) -> Event:
+        """Rising-edge event."""
+        return self._posedge_event
+
+    def negedge_event(self) -> Event:
+        """Falling-edge event."""
+        return self._negedge_event
+
+    # -- control --------------------------------------------------------------
+    def stop(self) -> None:
+        """Stop generating further edges (used to end a bounded simulation)."""
+        self._running = False
+
+    @property
+    def cycles(self) -> int:
+        """Completed clock cycles (counted on rising edges)."""
+        return self.posedge_count
+
+    def _update(self) -> None:  # pragma: no cover - protocol stub
+        """Primitive-channel protocol stub (the clock updates itself)."""
+
+    # -- edge generation ---------------------------------------------------------
+    def _edge(self) -> None:
+        if not self._running:
+            return
+        self._value = not self._value
+        self._changed_event.notify_delta()
+        if self._value:
+            self.posedge_count += 1
+            self._posedge_event.notify_delta()
+            next_delay = self.high_ps
+        else:
+            self.negedge_count += 1
+            self._negedge_event.notify_delta()
+            next_delay = self.low_ps
+        self.sim.schedule_action(next_delay, self._edge)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Clock({self.name!r}, period={self.period_ps} ps, "
+                f"cycles={self.posedge_count})")
+
+
+class ManualClock:
+    """A clock whose edges are produced explicitly by a testbench.
+
+    Useful in unit tests and in the fast non-cycle-accurate paths where the
+    platform advances "cycles" without involving the timed event queue.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "manual_clock") -> None:
+        self.sim = sim
+        self.name = name
+        self._value = False
+        self._posedge_event = Event(sim, f"{name}.posedge")
+        self._negedge_event = Event(sim, f"{name}.negedge")
+        self._changed_event = Event(sim, f"{name}.value_changed")
+        self.posedge_count = 0
+        self.negedge_count = 0
+
+    def read(self) -> bool:
+        """Current level."""
+        return self._value
+
+    def default_event(self) -> Event:
+        """Value-changed event."""
+        return self._changed_event
+
+    def posedge_event(self) -> Event:
+        """Rising-edge event."""
+        return self._posedge_event
+
+    def negedge_event(self) -> Event:
+        """Falling-edge event."""
+        return self._negedge_event
+
+    @property
+    def cycles(self) -> int:
+        """Completed rising edges."""
+        return self.posedge_count
+
+    def tick(self) -> None:
+        """Produce one rising edge followed by (logically) a falling edge."""
+        self.rise()
+        self.fall()
+
+    def rise(self) -> None:
+        """Drive a rising edge (delta-notified)."""
+        self._value = True
+        self.posedge_count += 1
+        self._changed_event.notify_delta()
+        self._posedge_event.notify_delta()
+
+    def fall(self) -> None:
+        """Drive a falling edge (delta-notified)."""
+        self._value = False
+        self.negedge_count += 1
+        self._changed_event.notify_delta()
+        self._negedge_event.notify_delta()

@@ -1,0 +1,32 @@
+"""Workloads: C-library routines, small test programs, the boot sequence."""
+
+from .bootgen import (BOOT_PHASES, BootImage, BootParams, boot_source,
+                      build_boot_image, build_boot_program)
+from .clib import (MEMCPY_LOOP_INSTRUCTIONS_PER_BYTE,
+                   MEMSET_LOOP_INSTRUCTIONS_PER_BYTE, clib_source)
+from .programs import (arithmetic_program, arithmetic_source,
+                       gpio_blink_program, gpio_blink_source, hello_program,
+                       hello_source, interrupt_program, interrupt_source,
+                       memory_exercise_program, memory_exercise_source)
+
+__all__ = [
+    "BOOT_PHASES",
+    "BootImage",
+    "BootParams",
+    "MEMCPY_LOOP_INSTRUCTIONS_PER_BYTE",
+    "MEMSET_LOOP_INSTRUCTIONS_PER_BYTE",
+    "arithmetic_program",
+    "arithmetic_source",
+    "boot_source",
+    "build_boot_image",
+    "build_boot_program",
+    "clib_source",
+    "gpio_blink_program",
+    "gpio_blink_source",
+    "hello_program",
+    "hello_source",
+    "interrupt_program",
+    "interrupt_source",
+    "memory_exercise_program",
+    "memory_exercise_source",
+]

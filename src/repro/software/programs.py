@@ -1,0 +1,248 @@
+"""Small bare-metal test programs.
+
+These are the "simpler program" class of workloads: they fit in the BRAM,
+complete in a few thousand cycles, and exercise one subsystem each.  They
+are used by the unit/integration tests, by the RTL HDL baseline benchmark
+(the paper also ran a simpler program on the RTL simulator because a full
+boot was infeasible) and by the quickstart example.
+
+Every program follows the same conventions:
+
+* entry point at the ``_start`` symbol,
+* a ``_halt`` symbol whose address the platform watches to stop execution,
+* results stored at the ``result`` symbol (one or more words) so tests can
+  check architectural state without involving any peripheral.
+"""
+
+from __future__ import annotations
+
+from ..isa.assembler import Program, assemble
+from ..platform import memory_map as mm
+from .clib import clib_source
+
+#: Default stack top for BRAM-resident programs.
+BRAM_STACK_TOP = mm.BRAM_BASE + mm.BRAM_SIZE - 16
+
+
+def _wrap(body: str, include_clib: bool = False,
+          stack_top: int = BRAM_STACK_TOP) -> str:
+    """Wrap a program body with the standard prologue/epilogue."""
+    pieces = [f"""
+_start:
+    li      r1, {stack_top:#x}
+{body}
+    bri     _halt
+_halt:
+    bri     _halt
+"""]
+    if include_clib:
+        pieces.append(clib_source())
+    return "\n".join(pieces)
+
+
+def arithmetic_source() -> str:
+    """Integer arithmetic exercising add/sub/logic/shift/mul and carries."""
+    return _wrap("""
+    addik   r5, r0, 1000
+    addik   r6, r0, 234
+    add     r7, r5, r6          # 1234
+    rsub    r8, r6, r5          # 1000 - 234 = 766
+    mul     r9, r6, r6          # 54756
+    andi    r10, r9, 0xFF       # 0xA4
+    ori     r11, r10, 0x100
+    xor     r12, r11, r10       # 0x100
+    bslli   r13, r12, 4         # 0x1000
+    bsrai   r14, r13, 2         # 0x400
+    sext8   r16, r10            # 0xFFFFFFA4 (0xA4 sign-extended)
+    add     r3, r7, r8          # 2000
+    add     r3, r3, r9
+    add     r3, r3, r12
+    add     r3, r3, r13
+    add     r3, r3, r14         # final checksum
+    li      r20, result
+    swi     r3, r20, 0
+    swi     r7, r20, 4
+    swi     r9, r20, 8
+""") + """
+    .align 4
+result:
+    .word 0, 0, 0
+"""
+
+
+def hello_source(text: str = "Hello from MicroBlaze uClinux!") -> str:
+    """Print ``text`` on the console UART, then halt."""
+    escaped = text.replace('"', '\\"')
+    return _wrap("""
+    li      r5, message
+    brlid   r15, puts
+    nop
+""", include_clib=True) + f"""
+    .align 4
+message:
+    .asciiz "{escaped}\\n"
+"""
+
+
+def memory_exercise_source(region_bytes: int = 64) -> str:
+    """memset + memcpy + checksum over a small BRAM buffer."""
+    return _wrap(f"""
+    # memset(buffer, 0xA5, region_bytes)
+    li      r5, buffer
+    addik   r6, r0, 0xA5
+    addik   r7, r0, {region_bytes}
+    brlid   r15, memset
+    nop
+    # memcpy(copy, buffer, region_bytes)
+    li      r5, copy
+    li      r6, buffer
+    addik   r7, r0, {region_bytes}
+    brlid   r15, memcpy
+    nop
+    # checksum the copy, byte-wise
+    li      r20, copy
+    addik   r21, r0, {region_bytes}
+    add     r3, r0, r0
+check_loop:
+    lbu     r22, r20, r0
+    add     r3, r3, r22
+    addik   r20, r20, 1
+    addik   r21, r21, -1
+    bnei    r21, check_loop
+    li      r20, result
+    swi     r3, r20, 0
+""", include_clib=True) + f"""
+    .align 4
+result:
+    .word 0
+buffer:
+    .space {region_bytes}
+copy:
+    .space {region_bytes}
+"""
+
+
+def interrupt_source(ticks: int = 2, timer_period: int = 400) -> str:
+    """Program the timer + interrupt controller and wait for ``ticks`` ticks.
+
+    Unlike the other small programs this one lays out the architectural
+    vector table (reset at 0x00, interrupt at 0x10) because it actually
+    takes interrupts.
+    """
+    reload_value = (1 << 32) - timer_period
+    return f"""
+_reset:
+    brai    _start
+    .org {mm.BRAM_BASE + 0x10:#x}
+_ivec:
+    brai    irq_handler
+    .org {mm.BRAM_BASE + 0x20:#x}
+_start:
+    li      r1, {BRAM_STACK_TOP:#x}
+    # interrupt controller: enable timer input, master enable
+    li      r20, {mm.INTC_BASE:#x}
+    addik   r5, r0, 1
+    swi     r5, r20, 0x08       # IER: timer
+    addik   r5, r0, 3
+    swi     r5, r20, 0x1C       # MER: master + hardware enable
+    # timer: reload value, then enable with auto-reload + interrupt
+    li      r20, {mm.TIMER_BASE:#x}
+    li      r5, {reload_value:#x}
+    swi     r5, r20, 4          # TLR
+    addik   r5, r0, 0x07        # enable | auto reload | interrupt enable
+    swi     r5, r20, 0
+    # enable interrupts in the MSR
+    msrset  r0, 0x2
+    # wait until the handler has counted enough jiffies
+    li      r22, jiffies
+wait_loop:
+    lwi     r23, r22, 0
+    addik   r24, r23, -{ticks}
+    blti    r24, wait_loop
+    # disable interrupts again and report
+    msrclr  r0, 0x2
+    lwi     r3, r22, 0
+    li      r20, result
+    swi     r3, r20, 0
+    bri     _halt
+_halt:
+    bri     _halt
+
+irq_handler:
+    swi     r5, r1, -4
+    swi     r20, r1, -8
+    # clear the timer interrupt flag (write-one-to-clear)
+    li      r20, {mm.TIMER_BASE:#x}
+    lwi     r5, r20, 0
+    ori     r5, r5, 0x100
+    swi     r5, r20, 0
+    # acknowledge at the interrupt controller
+    li      r20, {mm.INTC_BASE:#x}
+    addik   r5, r0, 1
+    swi     r5, r20, 0x0C       # IAR
+    # jiffies += 1
+    li      r20, jiffies
+    lwi     r5, r20, 0
+    addik   r5, r5, 1
+    swi     r5, r20, 0
+    lwi     r20, r1, -8
+    lwi     r5, r1, -4
+    rtid    r14, 0
+    nop
+
+    .align 4
+jiffies:
+    .word 0
+result:
+    .word 0
+"""
+
+
+def gpio_blink_source(pattern_count: int = 4) -> str:
+    """Write a sequence of patterns to the GPIO outputs (LED blinking)."""
+    writes = "\n".join(
+        f"""    addik   r5, r0, {(0b1010 if i % 2 else 0b0101):#x}
+    swi     r5, r20, 0""" for i in range(pattern_count))
+    return _wrap(f"""
+    li      r20, {mm.GPIO_BASE:#x}
+    addik   r5, r0, 0
+    swi     r5, r20, 4          # tristate: all outputs
+{writes}
+    lwi     r3, r20, 0
+    li      r20, result
+    swi     r3, r20, 0
+""") + """
+    .align 4
+result:
+    .word 0
+"""
+
+
+# --------------------------------------------------------------------------- #
+# assembled forms
+# --------------------------------------------------------------------------- #
+def arithmetic_program() -> Program:
+    """Assembled arithmetic test program (BRAM resident)."""
+    return assemble(arithmetic_source(), origin=mm.BRAM_BASE)
+
+
+def hello_program(text: str = "Hello from MicroBlaze uClinux!") -> Program:
+    """Assembled hello-world program."""
+    return assemble(hello_source(text), origin=mm.BRAM_BASE)
+
+
+def memory_exercise_program(region_bytes: int = 64) -> Program:
+    """Assembled memset/memcpy/checksum program."""
+    return assemble(memory_exercise_source(region_bytes),
+                    origin=mm.BRAM_BASE)
+
+
+def interrupt_program(ticks: int = 2, timer_period: int = 400) -> Program:
+    """Assembled timer-interrupt program."""
+    return assemble(interrupt_source(ticks, timer_period),
+                    origin=mm.BRAM_BASE)
+
+
+def gpio_blink_program(pattern_count: int = 4) -> Program:
+    """Assembled GPIO blink program."""
+    return assemble(gpio_blink_source(pattern_count), origin=mm.BRAM_BASE)

@@ -1,0 +1,5 @@
+"""Waveform tracing (VCD), the cost measured by Figure 2's traced bar."""
+
+from .vcd import Tracer, VcdWriter
+
+__all__ = ["Tracer", "VcdWriter"]

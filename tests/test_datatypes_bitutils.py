@@ -1,0 +1,142 @@
+"""Unit tests for integer bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import (align_down, byte_lane_mask, bytes_to_word,
+                             count_leading_zeros, get_bit, get_field,
+                             is_aligned, mask, parity, rotate_left,
+                             rotate_right, set_bit, set_field, sign_extend,
+                             to_signed, to_unsigned, truncate, word_to_bytes)
+
+WORDS = st.integers(min_value=0, max_value=0xFFFF_FFFF)
+
+
+class TestMasks:
+    def test_mask(self):
+        assert mask(0) == 0
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFF_FFFF
+
+    def test_truncate(self):
+        assert truncate(0x1_2345_6789) == 0x2345_6789
+        assert truncate(0x1FF, 8) == 0xFF
+
+
+class TestSignedness:
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x7F, 8) == 0x7F
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0x80, 8) == 0xFFFF_FF80
+        assert sign_extend(0xFFFF, 16) == 0xFFFF_FFFF
+
+    def test_to_signed(self):
+        assert to_signed(0xFFFF_FFFF) == -1
+        assert to_signed(0x7FFF_FFFF) == 0x7FFF_FFFF
+
+    def test_to_unsigned(self):
+        assert to_unsigned(-1) == 0xFFFF_FFFF
+        assert to_unsigned(-2, ) == 0xFFFF_FFFE
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_signed_roundtrip(self, value):
+        assert to_signed(to_unsigned(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_sign_extend_preserves_low_bits(self, value):
+        assert sign_extend(value, 8) & 0xFF == value
+
+
+class TestBitsAndFields:
+    def test_get_bit(self):
+        assert get_bit(0b100, 2) == 1
+        assert get_bit(0b100, 1) == 0
+
+    def test_set_bit(self):
+        assert set_bit(0, 3, 1) == 0b1000
+        assert set_bit(0b1111, 1, 0) == 0b1101
+
+    def test_get_field(self):
+        assert get_field(0xABCD, 15, 8) == 0xAB
+        assert get_field(0xABCD, 7, 0) == 0xCD
+
+    def test_set_field(self):
+        assert set_field(0x0000, 15, 8, 0xAB) == 0xAB00
+        assert set_field(0xFFFF, 7, 4, 0x0) == 0xFF0F
+
+    @given(WORDS, st.integers(min_value=0, max_value=31))
+    def test_set_then_get_bit(self, value, index):
+        assert get_bit(set_bit(value, index, 1), index) == 1
+        assert get_bit(set_bit(value, index, 0), index) == 0
+
+
+class TestRotation:
+    def test_rotate_left(self):
+        assert rotate_left(0x8000_0001, 1) == 0x0000_0003
+
+    def test_rotate_right(self):
+        assert rotate_right(0x0000_0003, 1) == 0x8000_0001
+
+    @given(WORDS, st.integers(min_value=0, max_value=64))
+    def test_rotate_roundtrip(self, value, amount):
+        assert rotate_right(rotate_left(value, amount), amount) == value
+
+
+class TestByteConversions:
+    def test_bytes_to_word_big_endian(self):
+        assert bytes_to_word(b"\x12\x34\x56\x78") == 0x12345678
+
+    def test_word_to_bytes(self):
+        assert word_to_bytes(0x12345678) == b"\x12\x34\x56\x78"
+        assert word_to_bytes(0x1234, 2) == b"\x12\x34"
+
+    @given(WORDS)
+    def test_word_roundtrip(self, value):
+        assert bytes_to_word(word_to_bytes(value)) == value
+
+
+class TestByteLanes:
+    def test_word_access(self):
+        assert byte_lane_mask(0x100, 4) == 0b1111
+
+    def test_halfword_access(self):
+        assert byte_lane_mask(0x100, 2) == 0b1100
+        assert byte_lane_mask(0x102, 2) == 0b0011
+
+    def test_byte_access(self):
+        assert byte_lane_mask(0x100, 1) == 0b1000
+        assert byte_lane_mask(0x103, 1) == 0b0001
+
+    def test_misaligned_word_rejected(self):
+        with pytest.raises(ValueError):
+            byte_lane_mask(0x101, 4)
+
+    def test_misaligned_halfword_rejected(self):
+        with pytest.raises(ValueError):
+            byte_lane_mask(0x101, 2)
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            byte_lane_mask(0x100, 3)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1007, 4) == 0x1004
+        assert align_down(0x1008, 8) == 0x1008
+
+    def test_is_aligned(self):
+        assert is_aligned(0x1000, 4)
+        assert not is_aligned(0x1002, 4)
+
+
+class TestMisc:
+    def test_count_leading_zeros(self):
+        assert count_leading_zeros(0) == 32
+        assert count_leading_zeros(1) == 31
+        assert count_leading_zeros(0x8000_0000) == 0
+
+    def test_parity(self):
+        assert parity(0b1011) == 1
+        assert parity(0b1001) == 0

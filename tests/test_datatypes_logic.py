@@ -1,0 +1,210 @@
+"""Unit tests for four-valued logic and logic vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datatypes import (Logic, LogicVector, resolve_logic, resolve_many,
+                             resolve_vectors)
+
+
+class TestLogicConversion:
+    def test_from_int(self):
+        assert Logic.from_value(0) is Logic.ZERO
+        assert Logic.from_value(1) is Logic.ONE
+
+    def test_from_bool(self):
+        assert Logic.from_value(True) is Logic.ONE
+        assert Logic.from_value(False) is Logic.ZERO
+
+    def test_from_char(self):
+        assert Logic.from_value("0") is Logic.ZERO
+        assert Logic.from_value("1") is Logic.ONE
+        assert Logic.from_value("x") is Logic.X
+        assert Logic.from_value("Z") is Logic.Z
+
+    def test_from_logic_is_identity(self):
+        assert Logic.from_value(Logic.X) is Logic.X
+
+    def test_invalid_int_rejected(self):
+        with pytest.raises(ValueError):
+            Logic.from_value(2)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            Logic.from_value(1.5)
+
+    def test_to_char(self):
+        assert [v.to_char() for v in Logic] == ["0", "1", "X", "Z"]
+
+    def test_to_bool(self):
+        assert Logic.ONE.to_bool() is True
+        assert Logic.ZERO.to_bool() is False
+        with pytest.raises(ValueError):
+            Logic.X.to_bool()
+
+    def test_is_known(self):
+        assert Logic.ZERO.is_known() and Logic.ONE.is_known()
+        assert not Logic.X.is_known() and not Logic.Z.is_known()
+
+
+class TestLogicOperators:
+    def test_and(self):
+        assert Logic.ONE & Logic.ONE is Logic.ONE
+        assert Logic.ONE & Logic.ZERO is Logic.ZERO
+        assert Logic.ZERO & Logic.X is Logic.ZERO
+        assert Logic.ONE & Logic.X is Logic.X
+
+    def test_or(self):
+        assert Logic.ZERO | Logic.ZERO is Logic.ZERO
+        assert Logic.ONE | Logic.X is Logic.ONE
+        assert Logic.ZERO | Logic.X is Logic.X
+
+    def test_xor(self):
+        assert Logic.ONE ^ Logic.ZERO is Logic.ONE
+        assert Logic.ONE ^ Logic.ONE is Logic.ZERO
+        assert Logic.ONE ^ Logic.Z is Logic.X
+
+    def test_invert(self):
+        assert ~Logic.ONE is Logic.ZERO
+        assert ~Logic.ZERO is Logic.ONE
+        assert ~Logic.X is Logic.X
+        assert ~Logic.Z is Logic.X
+
+
+class TestResolution:
+    def test_z_yields(self):
+        assert resolve_logic(Logic.Z, Logic.ONE) is Logic.ONE
+        assert resolve_logic(Logic.ZERO, Logic.Z) is Logic.ZERO
+
+    def test_conflict_is_x(self):
+        assert resolve_logic(Logic.ZERO, Logic.ONE) is Logic.X
+
+    def test_same_value_kept(self):
+        assert resolve_logic(Logic.ONE, Logic.ONE) is Logic.ONE
+
+    def test_x_dominates(self):
+        assert resolve_logic(Logic.X, Logic.ONE) is Logic.X
+
+    def test_resolve_many_empty_is_z(self):
+        assert resolve_many([]) is Logic.Z
+
+    @given(st.lists(st.sampled_from(list(Logic)), max_size=6))
+    def test_resolve_many_order_independent(self, values):
+        assert resolve_many(values) is resolve_many(list(reversed(values)))
+
+    @given(st.sampled_from(list(Logic)), st.sampled_from(list(Logic)))
+    def test_resolution_commutative(self, a, b):
+        assert resolve_logic(a, b) is resolve_logic(b, a)
+
+
+class TestLogicVectorConstruction:
+    def test_from_int(self):
+        vec = LogicVector(8, 0xA5)
+        assert vec.to_string() == "10100101"
+        assert vec.to_int() == 0xA5
+
+    def test_from_string(self):
+        vec = LogicVector(4, "1xz0")
+        assert vec.to_string() == "1XZ0"
+
+    def test_from_negative_int_wraps(self):
+        assert LogicVector(8, -1).to_int() == 0xFF
+
+    def test_truncates_wide_value(self):
+        assert LogicVector(4, 0x1F).to_int() == 0xF
+
+    def test_zero_extends_short_string(self):
+        assert LogicVector(4, "1").to_string() == "0001"
+
+    def test_all_x_and_all_z(self):
+        assert LogicVector.all_x(3).to_string() == "XXX"
+        assert LogicVector.all_z(3).to_string() == "ZZZ"
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            LogicVector(0)
+
+    def test_from_logic_sequence(self):
+        vec = LogicVector(2, [Logic.ONE, Logic.ZERO])
+        assert vec.to_string() == "10"
+
+
+class TestLogicVectorAccess:
+    def test_bit_indexing_lsb_zero(self):
+        vec = LogicVector(4, 0b1000)
+        assert vec.bit(3) is Logic.ONE
+        assert vec.bit(0) is Logic.ZERO
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            LogicVector(4, 0).bit(4)
+
+    def test_slice(self):
+        vec = LogicVector(8, 0b11001010)
+        assert vec.slice(7, 4).to_int() == 0b1100
+        assert vec.slice(3, 0).to_int() == 0b1010
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            LogicVector(4, 0).slice(4, 0)
+
+    def test_to_signed(self):
+        assert LogicVector(8, 0xFF).to_signed() == -1
+        assert LogicVector(8, 0x7F).to_signed() == 127
+
+    def test_to_int_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            LogicVector(4, "10XZ").to_int()
+
+    def test_is_known(self):
+        assert LogicVector(4, 0b1010).is_known()
+        assert not LogicVector(4, "1X10").is_known()
+
+
+class TestLogicVectorOperators:
+    def test_and_or_xor(self):
+        a = LogicVector(4, 0b1100)
+        b = LogicVector(4, 0b1010)
+        assert (a & b).to_int() == 0b1000
+        assert (a | b).to_int() == 0b1110
+        assert (a ^ b).to_int() == 0b0110
+
+    def test_invert(self):
+        assert (~LogicVector(4, 0b1010)).to_int() == 0b0101
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            __ = LogicVector(4, 0) & LogicVector(8, 0)
+
+    def test_equality_against_int_and_string(self):
+        vec = LogicVector(4, 0b0101)
+        assert vec == 5
+        assert vec == "0101"
+        assert vec != 6
+
+    def test_resolution(self):
+        a = LogicVector(4, "11ZZ")
+        b = LogicVector(4, "Z0Z1")
+        assert a.resolve(b).to_string() == "1XZ1"
+
+    def test_resolve_vectors_no_drivers(self):
+        assert resolve_vectors([], 4).to_string() == "ZZZZ"
+
+    def test_resolve_vectors_single_driver(self):
+        only = LogicVector(4, 0b1001)
+        assert resolve_vectors([only], 4) == only
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_int_roundtrip(self, value):
+        assert LogicVector(16, value).to_int() == value
+
+    @given(st.integers(min_value=0, max_value=0xFF),
+           st.integers(min_value=0, max_value=0xFF))
+    def test_and_matches_integer_and(self, a, b):
+        result = LogicVector(8, a) & LogicVector(8, b)
+        assert result.to_int() == (a & b)
+
+    @given(st.integers(min_value=0, max_value=0xFF))
+    def test_resolution_with_z_is_identity(self, value):
+        vec = LogicVector(8, value)
+        assert vec.resolve(LogicVector.all_z(8)) == vec

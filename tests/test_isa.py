@@ -1,0 +1,351 @@
+"""Unit tests for the ISA layer: encodings, decoder, assembler, disassembler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (Assembler, DecodeCache, SymbolTable, assemble, decode,
+                       disassemble_word, encoding as enc)
+from repro.isa.decoder import Instruction
+from repro.kernel.errors import AssemblerError, DecodeError
+
+
+class TestEncodingFields:
+    def test_pack_type_a(self):
+        word = enc.pack_type_a(enc.OP_ADD, 3, 4, 5)
+        assert enc.opcode_of(word) == enc.OP_ADD
+        assert enc.rd_of(word) == 3
+        assert enc.ra_of(word) == 4
+        assert enc.rb_of(word) == 5
+
+    def test_pack_type_b(self):
+        word = enc.pack_type_b(enc.OP_ADDI, 2, 7, -5)
+        assert enc.opcode_of(word) == enc.OP_ADDI
+        assert enc.imm_of(word) == 0xFFFB
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            enc.pack_type_a(enc.OP_ADD, 32, 0, 0)
+
+    def test_function_range_checked(self):
+        with pytest.raises(ValueError):
+            enc.pack_type_a(enc.OP_ADD, 0, 0, 0, 1 << 11)
+
+    def test_format_classification(self):
+        assert enc.format_of(enc.OP_ADD) is enc.Format.TYPE_A
+        assert enc.format_of(enc.OP_ADDI) is enc.Format.TYPE_B
+        assert enc.format_of(enc.OP_LW) is enc.Format.TYPE_A
+        assert enc.format_of(enc.OP_LWI) is enc.Format.TYPE_B
+
+
+class TestDecoder:
+    def test_decode_add(self):
+        instruction = decode(enc.pack_type_a(enc.OP_ADD, 1, 2, 3))
+        assert instruction.mnemonic == "add"
+        assert (instruction.rd, instruction.ra, instruction.rb) == (1, 2, 3)
+
+    def test_decode_addi_immediate(self):
+        instruction = decode(enc.pack_type_b(enc.OP_ADDI, 1, 2, 100))
+        assert instruction.mnemonic == "addi"
+        assert instruction.imm == 100
+
+    def test_decode_cmp_vs_rsubk(self):
+        assert decode(enc.pack_type_a(enc.OP_RSUBK, 1, 2, 3)).mnemonic \
+            == "rsubk"
+        assert decode(enc.pack_type_a(enc.OP_RSUBK, 1, 2, 3,
+                                      enc.CMP_FUNC)).mnemonic == "cmp"
+        assert decode(enc.pack_type_a(enc.OP_RSUBK, 1, 2, 3,
+                                      enc.CMPU_FUNC)).mnemonic == "cmpu"
+
+    def test_decode_loads_and_stores(self):
+        lw = decode(enc.pack_type_a(enc.OP_LW, 1, 2, 3))
+        assert lw.is_load and lw.access_size == 4
+        sb = decode(enc.pack_type_b(enc.OP_SBI, 1, 2, 8))
+        assert sb.is_store and sb.access_size == 1
+
+    def test_decode_branch_flags(self):
+        word = enc.pack_type_b(enc.OP_BRI, 15,
+                               enc.BR_DELAY | enc.BR_LINK, 0x100)
+        instruction = decode(word)
+        assert instruction.mnemonic == "brlid"
+        assert instruction.delay_slot
+        assert instruction.link
+        assert not instruction.absolute
+
+    def test_decode_conditional_branch(self):
+        word = enc.pack_type_b(enc.OP_BCCI, enc.COND_NE, 3, 0x20)
+        instruction = decode(word)
+        assert instruction.mnemonic == "bnei"
+        assert instruction.condition == "ne"
+        assert not instruction.delay_slot
+
+    def test_decode_returns(self):
+        word = enc.pack_type_b(enc.OP_RET, enc.RET_RTID, 14, 0)
+        instruction = decode(word)
+        assert instruction.mnemonic == "rtid"
+        assert instruction.delay_slot
+
+    def test_decode_shift(self):
+        word = (enc.OP_SHIFT << 26) | (1 << 21) | (2 << 16) | enc.SHIFT_SRA
+        assert decode(word).mnemonic == "sra"
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(0x33 << 26)
+
+    def test_unknown_shift_function_rejected(self):
+        with pytest.raises(DecodeError):
+            decode((enc.OP_SHIFT << 26) | 0x7FF)
+
+    def test_is_branch_property(self):
+        assert decode(enc.pack_type_b(enc.OP_BRI, 0, 0, 8)).is_branch
+        assert not decode(enc.pack_type_a(enc.OP_ADD, 1, 2, 3)).is_branch
+
+
+class TestDecodeCache:
+    def test_hit_and_miss_counting(self):
+        cache = DecodeCache()
+        word = enc.pack_type_a(enc.OP_ADD, 1, 2, 3)
+        first = cache.lookup(word)
+        second = cache.lookup(word)
+        assert first is second
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_capacity_eviction(self):
+        cache = DecodeCache(capacity=2)
+        cache.lookup(enc.pack_type_a(enc.OP_ADD, 1, 2, 3))
+        cache.lookup(enc.pack_type_a(enc.OP_ADD, 1, 2, 4))
+        cache.lookup(enc.pack_type_a(enc.OP_ADD, 1, 2, 5))
+        assert len(cache) <= 2
+
+
+class TestSymbolTable:
+    def test_define_and_lookup(self):
+        table = SymbolTable()
+        table.define("start", 0x100)
+        assert table.address_of("start") == 0x100
+        assert "start" in table
+        assert table.get("missing") is None
+
+    def test_conflicting_redefinition_rejected(self):
+        table = SymbolTable()
+        table.define("x", 4)
+        with pytest.raises(ValueError):
+            table.define("x", 8)
+
+    def test_identical_redefinition_allowed(self):
+        table = SymbolTable()
+        table.define("x", 4)
+        table.define("x", 4)
+        assert len(table) == 1
+
+    def test_containing_query(self):
+        table = SymbolTable()
+        table.define("memset", 0x100)
+        table.define("memcpy", 0x200)
+        assert table.containing(0x150) == "memset"
+        assert table.containing(0x200) == "memcpy"
+        assert table.containing(0x50) is None
+
+    def test_names_at(self):
+        table = SymbolTable()
+        table.define("a", 0x10)
+        table.define("b", 0x10)
+        assert set(table.names_at(0x10)) == {"a", "b"}
+
+    def test_merged_with(self):
+        a = SymbolTable()
+        a.define("x", 1)
+        b = SymbolTable()
+        b.define("y", 2)
+        merged = a.merged_with(b)
+        assert merged.address_of("x") == 1
+        assert merged.address_of("y") == 2
+
+
+class TestAssembler:
+    def test_simple_type_a(self):
+        program = assemble("add r1, r2, r3")
+        (address, word), = program.words()
+        assert address == 0
+        assert decode(word).mnemonic == "add"
+
+    def test_register_aliases(self):
+        program = assemble("add sp, zero, link")
+        __, word = program.words()[0]
+        instruction = decode(word)
+        assert (instruction.rd, instruction.ra, instruction.rb) == (1, 0, 15)
+
+    def test_immediate_forms(self):
+        program = assemble("addi r1, r2, -16\nori r3, r4, 0xFF")
+        words = [decode(word) for __, word in program.words()]
+        assert words[0].mnemonic == "addi"
+        assert words[0].imm == 0xFFF0
+        assert words[1].imm == 0xFF
+
+    def test_labels_and_backward_branch_is_compact(self):
+        program = assemble("""
+        loop:
+            addik r3, r3, 1
+            bnei r3, loop
+        """)
+        assert len(program.words()) == 2     # no IMM prefix needed
+        assert program.symbols.address_of("loop") == 0
+
+    def test_forward_branch_uses_imm_prefix(self):
+        program = assemble("""
+            beqi r3, done
+            addik r4, r4, 1
+        done:
+            nop
+        """)
+        mnemonics = [decode(word).mnemonic for __, word in program.words()]
+        assert mnemonics[0] == "imm"
+        assert mnemonics[1] == "beqi"
+
+    def test_li_pseudo_builds_32bit_constant(self):
+        program = assemble("li r5, 0xDEADBEEF")
+        words = [decode(word) for __, word in program.words()]
+        assert words[0].mnemonic == "imm"
+        assert words[0].imm == 0xDEAD
+        assert words[1].mnemonic == "addik"
+        assert words[1].imm == 0xBEEF
+
+    def test_nop_and_ret_pseudos(self):
+        program = assemble("nop\nret")
+        mnemonics = [decode(word).mnemonic for __, word in program.words()]
+        assert mnemonics == ["or", "rtsd"]
+
+    def test_directives_word_space_ascii(self):
+        program = assemble("""
+            .word 0x11223344, 5
+            .space 4
+            .asciiz "AB"
+        """)
+        low, high = program.address_range()
+        assert high - low == 4 + 4 + 4 + 3
+        first_word = program.words()[0][1]
+        assert first_word == 0x11223344
+
+    def test_org_creates_separate_segment(self):
+        program = assemble("""
+            nop
+            .org 0x100
+            nop
+        """)
+        bases = [base for base, __ in program.segments]
+        assert bases == [0, 0x100]
+
+    def test_equ_constants(self):
+        program = assemble("""
+            .equ UART, 0x200
+            addik r3, r0, UART
+        """)
+        __, word = program.words()[0]
+        assert decode(word).imm == 0x200
+
+    def test_align_directive(self):
+        program = assemble("""
+            .ascii "abc"
+            .align 4
+            .word 1
+        """)
+        words = program.words()
+        assert words[-1][0] == 4
+
+    def test_entry_point_defaults_to_start_symbol(self):
+        program = assemble("""
+            nop
+        _start:
+            nop
+        """)
+        assert program.entry_point == 4
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r99, r2")
+
+    def test_oversized_immediate_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("addi r1, r0, 0x12345")
+
+    def test_overlapping_org_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("""
+                .word 1, 2, 3
+                .org 0x4
+                .word 9
+            """)
+
+    def test_mfs_mts(self):
+        program = assemble("mfs r3, rmsr\nmts rmsr, r4")
+        mnemonics = [decode(word).mnemonic for __, word in program.words()]
+        assert mnemonics == ["mfs", "mts"]
+
+    def test_load_store_with_label_offset(self):
+        program = assemble("""
+            lwi r3, r0, data
+            swi r3, r0, data+4
+        data:
+            .word 7, 8
+        """)
+        words = [decode(word) for __, word in program.words()]
+        assert words[0].imm == 8
+        assert words[1].imm == 12
+
+    def test_instruction_count(self):
+        program = assemble("nop\nnop\nli r1, 0x12345678")
+        assert program.instruction_count == 4
+
+    def test_program_load_callback(self):
+        program = assemble(".word 0xAABBCCDD")
+        written = {}
+        program.load(lambda addr, value: written.__setitem__(addr, value))
+        assert written == {0: 0xAA, 1: 0xBB, 2: 0xCC, 3: 0xDD}
+
+
+class TestDisassembler:
+    def test_roundtrip_simple(self):
+        source_lines = [
+            "add r1, r2, r3",
+            "addi r4, r5, 100",
+            "lwi r6, r7, 8",
+            "sw r8, r9, r10",
+            "cmp r11, r12, r13",
+            "sra r1, r2",
+        ]
+        program = assemble("\n".join(source_lines))
+        for (address, word), original in zip(program.words(), source_lines):
+            text = disassemble_word(word, address)
+            mnemonic = original.split()[0]
+            assert text.startswith(mnemonic)
+
+    def test_branch_target_symbolised(self):
+        program = assemble("""
+        loop:
+            nop
+            bri loop
+        """)
+        table = program.symbols
+        address, word = program.words()[1]
+        text = disassemble_word(word, address, table)
+        assert "loop" in text
+
+    def test_imm_rendering(self):
+        word = enc.pack_type_b(enc.OP_IMM, 0, 0, 0xDEAD)
+        assert disassemble_word(word) == "imm 0xdead"
+
+    @given(st.sampled_from([
+        enc.pack_type_a(enc.OP_ADD, 1, 2, 3),
+        enc.pack_type_b(enc.OP_ADDI, 1, 2, 50),
+        enc.pack_type_a(enc.OP_LW, 4, 5, 6),
+        enc.pack_type_b(enc.OP_SWI, 7, 8, 12),
+        enc.pack_type_b(enc.OP_BRI, 0, 0x10, 8),
+    ]))
+    def test_disassembly_never_crashes(self, word):
+        text = disassemble_word(word)
+        assert isinstance(text, str) and text

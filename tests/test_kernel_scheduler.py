@@ -1,0 +1,429 @@
+"""Unit tests for the discrete-event scheduler and process semantics."""
+
+import pytest
+
+from repro.kernel import (Event, KernelError, MethodProcess, Module, SimTime,
+                          Simulator, ThreadProcess)
+from repro.signals import Clock, Signal
+
+
+class TestSimulatorBasics:
+    def test_initial_state(self):
+        sim = Simulator()
+        assert sim.time_ps == 0
+        assert sim.current_time == SimTime(0)
+        assert not sim.finished
+        assert sim.process_count() == 0
+
+    def test_run_with_no_activity_finishes(self):
+        sim = Simulator()
+        sim.run()
+        assert sim.finished
+
+    def test_run_duration_advances_time(self):
+        sim = Simulator()
+        event = sim.create_event("later")
+        fired = []
+        sim.spawn_method("watcher", lambda: fired.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(5))
+        sim.run(SimTime.ns(10))
+        assert fired == [5000]
+
+    def test_run_duration_does_not_pass_end_time(self):
+        sim = Simulator()
+        event = sim.create_event("later")
+        fired = []
+        sim.spawn_method("watcher", lambda: fired.append(True),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(50))
+        sim.run(SimTime.ns(10))
+        assert fired == []
+        assert sim.time_ps == 10_000
+        # Resuming lets the notification mature.
+        sim.run(SimTime.ns(100))
+        assert fired == [True]
+
+    def test_stop_halts_evaluation(self):
+        sim = Simulator()
+        executed = []
+
+        def stopper():
+            executed.append("stopper")
+            sim.stop()
+
+        def other():
+            executed.append("other")
+
+        sim.spawn_method("stopper", stopper)
+        sim.spawn_method("other", other)
+        sim.run()
+        assert executed == ["stopper"]
+
+
+class TestMethodProcesses:
+    def test_method_runs_at_initialization(self):
+        sim = Simulator()
+        calls = []
+        sim.spawn_method("m", lambda: calls.append(sim.time_ps))
+        sim.run()
+        assert calls == [0]
+
+    def test_dont_initialize_skips_initial_run(self):
+        sim = Simulator()
+        calls = []
+        event = sim.create_event()
+        sim.spawn_method("m", lambda: calls.append(1), sensitive=[event],
+                         dont_initialize=True)
+        sim.run()
+        assert calls == []
+
+    def test_method_reacts_to_signal_change(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig", 0)
+        seen = []
+        sim.spawn_method("watch", lambda: seen.append(sig.value),
+                         sensitive=[sig.default_event()],
+                         dont_initialize=True)
+
+        def stimulus():
+            sig.write(7)
+            yield SimTime.ns(1)
+            sig.write(9)
+
+        sim.spawn_thread("stim", stimulus)
+        sim.run(SimTime.ns(5))
+        assert seen == [7, 9]
+
+    def test_method_not_retriggered_without_value_change(self):
+        sim = Simulator()
+        sig = Signal(sim, "sig", 5)
+        seen = []
+        sim.spawn_method("watch", lambda: seen.append(sig.value),
+                         sensitive=[sig.default_event()],
+                         dont_initialize=True)
+
+        def stimulus():
+            sig.write(5)  # same value: no value-changed notification
+            yield SimTime.ns(1)
+            sig.write(6)
+
+        sim.spawn_thread("stim", stimulus)
+        sim.run(SimTime.ns(5))
+        assert seen == [6]
+
+    def test_next_trigger_timed(self):
+        sim = Simulator()
+        times = []
+
+        def periodic():
+            times.append(sim.time_ps)
+            if len(times) < 4:
+                sim.next_trigger(SimTime.ns(3))
+
+        sim.spawn_method("periodic", periodic)
+        sim.run(SimTime.ns(100))
+        assert times == [0, 3000, 6000, 9000]
+
+    def test_next_trigger_outside_method_raises(self):
+        sim = Simulator()
+        with pytest.raises(KernelError):
+            sim.next_trigger(SimTime.ns(1))
+
+    def test_activation_count_tracks_runs(self):
+        sim = Simulator()
+        event = sim.create_event()
+        proc = sim.spawn_method("m", lambda: None, sensitive=[event])
+        sim.run()
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(2))
+        assert proc.activation_count == 2
+
+
+class TestThreadProcesses:
+    def test_plain_function_thread_runs_once(self):
+        sim = Simulator()
+        calls = []
+        proc = sim.spawn_thread("t", lambda: calls.append(1))
+        sim.run()
+        assert calls == [1]
+        assert proc.terminated
+
+    def test_generator_thread_waits_on_time(self):
+        sim = Simulator()
+        times = []
+
+        def worker():
+            for __ in range(3):
+                times.append(sim.time_ps)
+                yield SimTime.ns(10)
+
+        sim.spawn_thread("worker", worker)
+        sim.run(SimTime.us(1))
+        assert times == [0, 10_000, 20_000]
+
+    def test_generator_thread_waits_on_event(self):
+        sim = Simulator()
+        event = sim.create_event("go")
+        log = []
+
+        def waiter():
+            log.append("before")
+            yield event
+            log.append("after")
+
+        def kicker():
+            yield SimTime.ns(5)
+            event.notify()
+
+        sim.spawn_thread("waiter", waiter)
+        sim.spawn_thread("kicker", kicker)
+        sim.run(SimTime.ns(20))
+        assert log == ["before", "after"]
+
+    def test_thread_static_sensitivity(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        ticks = []
+
+        def sampler():
+            while True:
+                yield None
+                ticks.append(sim.time_ps)
+
+        sim.spawn_thread("sampler", sampler,
+                         sensitive=[clock.posedge_event()])
+        sim.run(SimTime.ns(45))
+        assert len(ticks) == 4
+
+    def test_thread_wait_on_event_or_list(self):
+        sim = Simulator()
+        a = sim.create_event("a")
+        b = sim.create_event("b")
+        woke = []
+
+        def waiter():
+            yield a | b
+            woke.append(sim.time_ps)
+
+        def kicker():
+            yield SimTime.ns(7)
+            b.notify()
+
+        sim.spawn_thread("waiter", waiter)
+        sim.spawn_thread("kicker", kicker)
+        sim.run(SimTime.ns(20))
+        assert woke == [7000]
+
+    def test_thread_zero_time_wait_resumes_next_delta(self):
+        sim = Simulator()
+        order = []
+
+        def worker():
+            order.append("first")
+            yield 0
+            order.append("second")
+
+        sim.spawn_thread("worker", worker)
+        sim.run(SimTime.ns(1))
+        assert order == ["first", "second"]
+        assert sim.time_ps <= 1000
+
+    def test_thread_terminates_and_ignores_further_events(self):
+        sim = Simulator()
+        event = sim.create_event()
+        runs = []
+
+        def once():
+            runs.append(1)
+            yield event
+            runs.append(2)
+
+        proc = sim.spawn_thread("once", once)
+        sim.run()
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(5))
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(5))
+        assert runs == [1, 2]
+        assert proc.terminated
+
+    def test_static_wait_without_sensitivity_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield None
+
+        sim.spawn_thread("bad", bad)
+        with pytest.raises(KernelError):
+            sim.run()
+
+    def test_invalid_yield_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield "nonsense"
+
+        sim.spawn_thread("bad", bad)
+        with pytest.raises(KernelError):
+            sim.run()
+
+
+class TestEvents:
+    def test_immediate_notification_runs_same_evaluation(self):
+        sim = Simulator()
+        event = sim.create_event()
+        log = []
+        sim.spawn_method("listener", lambda: log.append(sim.delta_count),
+                         sensitive=[event], dont_initialize=True)
+        sim.spawn_method("notifier", lambda: event.notify())
+        sim.run()
+        # Listener ran in the same delta cycle (delta count 0).
+        assert log == [0]
+
+    def test_delta_notification_runs_next_delta(self):
+        sim = Simulator()
+        event = sim.create_event()
+        deltas = []
+        sim.spawn_method("listener", lambda: deltas.append(sim.delta_count),
+                         sensitive=[event], dont_initialize=True)
+        sim.spawn_method("notifier", lambda: event.notify_delta())
+        sim.run()
+        assert deltas == [1]
+
+    def test_timed_notification(self):
+        sim = Simulator()
+        event = sim.create_event()
+        times = []
+        sim.spawn_method("listener", lambda: times.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(3))
+        sim.run(SimTime.ns(10))
+        assert times == [3000]
+
+    def test_cancel_removes_pending_notification(self):
+        sim = Simulator()
+        event = sim.create_event()
+        fired = []
+        sim.spawn_method("listener", lambda: fired.append(True),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(3))
+        event.cancel()
+        sim.run(SimTime.ns(10))
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        event = sim.create_event()
+        with pytest.raises(ValueError):
+            event.notify(-5)
+
+    def test_earlier_timed_notification_wins(self):
+        sim = Simulator()
+        event = sim.create_event()
+        times = []
+        sim.spawn_method("listener", lambda: times.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(2))
+        event.notify(SimTime.ns(8))  # later: ignored
+        sim.run(SimTime.ns(20))
+        assert times == [2000]
+
+
+class TestModule:
+    def test_hierarchical_names(self):
+        sim = Simulator()
+        top = Module(sim, "top")
+        child = Module(sim, "child", parent=top)
+        grand = Module(sim, "grand", parent=child)
+        assert top.name == "top"
+        assert child.name == "child" if child.parent is None else True
+        assert child.name == "top.child"
+        assert grand.name == "top.child.grand"
+        assert top.find_child("child") is child
+        assert top.find_child("nope") is None
+
+    def test_module_process_registration(self):
+        sim = Simulator()
+
+        class Counter(Module):
+            def __init__(self, sim, name, clock):
+                super().__init__(sim, name)
+                self.count = 0
+                self.sc_method(self.tick, sensitive=[clock.posedge_event()],
+                               dont_initialize=True)
+
+            def tick(self):
+                self.count += 1
+
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        counter = Counter(sim, "counter", clock)
+        sim.run(SimTime.ns(95))
+        assert counter.count == 9
+        assert sim.process_count("method") == 1
+
+    def test_sc_process_selects_kind(self):
+        sim = Simulator()
+        module = Module(sim, "m")
+        event = sim.create_event()
+        as_method = module.sc_process(lambda: None, sensitive=[event],
+                                      use_method=True)
+        def threaded():
+            yield event
+        as_thread = module.sc_process(threaded, sensitive=[event],
+                                      use_method=False)
+        assert isinstance(as_method, MethodProcess)
+        assert isinstance(as_thread, ThreadProcess)
+
+    def test_all_processes_recurses(self):
+        sim = Simulator()
+        top = Module(sim, "top")
+        child = Module(sim, "child", parent=top)
+        event = sim.create_event()
+        top.sc_method(lambda: None, sensitive=[event])
+        child.sc_method(lambda: None, sensitive=[event])
+        assert len(top.all_processes()) == 2
+
+
+class TestKernelStatistics:
+    def test_counters_accumulate(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        sig = Signal(sim, "sig", 0)
+
+        def driver():
+            sig.write(sim.time_ps)
+
+        sim.spawn_method("driver", driver,
+                         sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(200))
+        stats = sim.stats
+        assert stats.process_activations >= 19
+        assert stats.channel_updates >= 19
+        assert stats.delta_cycles > 0
+
+    def test_snapshot_and_delta(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        sim.spawn_method("noop", lambda: None,
+                         sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(100))
+        before = sim.stats.snapshot()
+        sim.run(SimTime.ns(100))
+        diff = sim.stats.delta(before)
+        assert diff.process_activations == 10
+
+
+class TestDeltaCycleLimit:
+    def test_combinational_loop_detected(self):
+        sim = Simulator()
+        a = Signal(sim, "a", 0)
+        b = Signal(sim, "b", 0)
+        sim.spawn_method("forward", lambda: b.write(a.value + 1),
+                         sensitive=[a.default_event()])
+        sim.spawn_method("backward", lambda: a.write(b.value + 1),
+                         sensitive=[b.default_event()])
+        with pytest.raises(KernelError):
+            sim.run(SimTime.ns(1))

@@ -1,0 +1,113 @@
+"""Unit tests for simulation time representation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import SimTime, TimeUnit, ZERO_TIME, to_picoseconds
+from repro.kernel.simtime import _as_ps
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert SimTime().picoseconds == 0
+        assert ZERO_TIME.picoseconds == 0
+
+    def test_ns_constructor(self):
+        assert SimTime.ns(10).picoseconds == 10_000
+
+    def test_us_constructor(self):
+        assert SimTime.us(1).picoseconds == 1_000_000
+
+    def test_ms_constructor(self):
+        assert SimTime.ms(2).picoseconds == 2_000_000_000
+
+    def test_sec_constructor(self):
+        assert SimTime.sec(1).picoseconds == 10 ** 12
+
+    def test_ps_constructor_rounds(self):
+        assert SimTime.ps(1.4).picoseconds == 1
+        assert SimTime.ps(1.6).picoseconds == 2
+
+    def test_fs_constructor(self):
+        assert SimTime.fs(3000).picoseconds == 3
+
+
+class TestConversion:
+    def test_to_ns(self):
+        assert SimTime.ns(5).to_ns() == pytest.approx(5.0)
+
+    def test_to_us(self):
+        assert SimTime.us(2.5).to_us() == pytest.approx(2.5)
+
+    def test_to_seconds(self):
+        assert SimTime.ms(1500).to_seconds() == pytest.approx(1.5)
+
+    def test_to_picoseconds_with_unit_enum(self):
+        assert to_picoseconds(1, TimeUnit.SC_NS) == 1000
+
+    def test_to_picoseconds_with_string(self):
+        assert to_picoseconds(2, "us") == 2_000_000
+
+    def test_to_picoseconds_rejects_unknown_unit(self):
+        with pytest.raises(ValueError):
+            to_picoseconds(1, "fortnights")
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (SimTime.ns(1) + SimTime.ns(2)).picoseconds == 3000
+
+    def test_addition_with_int(self):
+        assert (SimTime.ns(1) + 500).picoseconds == 1500
+
+    def test_right_addition(self):
+        assert (500 + SimTime.ns(1)).picoseconds == 1500
+
+    def test_subtraction(self):
+        assert (SimTime.ns(3) - SimTime.ns(1)).picoseconds == 2000
+
+    def test_multiplication(self):
+        assert (SimTime.ns(2) * 5).picoseconds == 10_000
+        assert (5 * SimTime.ns(2)).picoseconds == 10_000
+
+    def test_comparison(self):
+        assert SimTime.ns(1) < SimTime.ns(2)
+        assert SimTime.ns(3) >= SimTime.ns(3)
+
+    def test_int_conversion(self):
+        assert int(SimTime.ns(1)) == 1000
+
+    def test_bool(self):
+        assert not SimTime(0)
+        assert SimTime(1)
+
+    def test_str_formats_readable_units(self):
+        assert str(SimTime.ns(10)) == "10 ns"
+        assert str(SimTime(0)) == "0 s"
+        assert str(SimTime.us(3)) == "3 us"
+
+
+class TestAsPs:
+    def test_simtime_passthrough(self):
+        assert _as_ps(SimTime.ns(1)) == 1000
+
+    def test_int_passthrough(self):
+        assert _as_ps(42) == 42
+
+    def test_float_truncates(self):
+        assert _as_ps(41.9) == 41
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10 ** 15),
+           st.integers(min_value=0, max_value=10 ** 15))
+    def test_addition_commutative(self, a, b):
+        assert SimTime(a) + SimTime(b) == SimTime(b) + SimTime(a)
+
+    @given(st.integers(min_value=0, max_value=10 ** 12))
+    def test_ns_roundtrip(self, value):
+        assert SimTime.ns(value).to_ns() == pytest.approx(value)
+
+    @given(st.integers(min_value=0, max_value=10 ** 15))
+    def test_ordering_matches_picoseconds(self, a):
+        assert (SimTime(a) < SimTime(a + 1))

@@ -1,0 +1,179 @@
+"""Variant-level tests: the accuracy contract of DESIGN.md section 5.
+
+* every cycle-accurate variant produces the identical architectural result
+  *and* the identical cycle count for the same program;
+* every non-cycle-accurate variant produces the identical architectural
+  result in fewer cycles;
+* the structural differences between variants (process counts, gated
+  peripheral activations, tracing) are observable.
+"""
+
+import pytest
+
+from repro.platform import (VanillaNetPlatform, VariantName, variant_config)
+from repro.software import BootParams, build_boot_program, hello_program
+
+CYCLE_ACCURATE = [
+    VariantName.INITIAL,
+    VariantName.NATIVE_TYPES,
+    VariantName.THREADS_TO_METHODS,
+    VariantName.REDUCED_PORT_READING,
+    VariantName.REDUCED_SCHEDULING,
+]
+
+NON_CYCLE_ACCURATE = [
+    VariantName.SUPPRESS_INSTRUCTION_MEMORY,
+    VariantName.SUPPRESS_MAIN_MEMORY,
+    VariantName.REDUCED_SCHEDULING_2,
+    VariantName.KERNEL_FUNCTION_CAPTURE,
+]
+
+SMALL_BOOT = BootParams(bss_bytes=32, kernel_copy_bytes=48,
+                        page_clear_bytes=16, page_clear_count=1,
+                        rootfs_copy_bytes=16, checksum_words=4,
+                        progress_dots=1, timer_ticks=1,
+                        timer_period_cycles=300, device_probe_rounds=1)
+
+
+def run_variant(variant: VariantName, max_cycles: int = 900_000):
+    platform = VanillaNetPlatform(variant_config(variant))
+    platform.load_program(build_boot_program(SMALL_BOOT))
+    finished = platform.run_until_halt(max_cycles=max_cycles,
+                                       chunk_cycles=2_000)
+    return platform, finished
+
+
+@pytest.fixture(scope="module")
+def variant_runs():
+    """Run the small boot on every SystemC-style variant once."""
+    runs = {}
+    for variant in CYCLE_ACCURATE + NON_CYCLE_ACCURATE:
+        runs[variant] = run_variant(variant)
+    return runs
+
+
+class TestCycleAccurateContract:
+    def test_all_variants_finish(self, variant_runs):
+        for variant in CYCLE_ACCURATE:
+            __, finished = variant_runs[variant]
+            assert finished, f"{variant.value} did not reach _halt"
+
+    def test_identical_console_output(self, variant_runs):
+        reference, __ = variant_runs[VariantName.INITIAL]
+        for variant in CYCLE_ACCURATE[1:]:
+            platform, __ = variant_runs[variant]
+            assert platform.console_output == reference.console_output
+
+    def test_identical_retired_instruction_count(self, variant_runs):
+        reference, __ = variant_runs[VariantName.INITIAL]
+        expected = reference.statistics.instructions_retired
+        for variant in CYCLE_ACCURATE[1:]:
+            platform, __ = variant_runs[variant]
+            assert platform.statistics.instructions_retired == expected, \
+                f"{variant.value} retired a different instruction count"
+
+    def test_identical_cycle_count(self, variant_runs):
+        reference, __ = variant_runs[VariantName.INITIAL]
+        expected = reference.statistics.cycles
+        for variant in CYCLE_ACCURATE[1:]:
+            platform, __ = variant_runs[variant]
+            assert platform.statistics.cycles == expected, \
+                f"{variant.value} is not cycle accurate w.r.t. the initial " \
+                f"model"
+
+    def test_identical_register_state(self, variant_runs):
+        reference, __ = variant_runs[VariantName.INITIAL]
+        expected = reference.architectural_state()
+        for variant in CYCLE_ACCURATE[1:]:
+            platform, __ = variant_runs[variant]
+            assert platform.architectural_state() == expected
+
+
+class TestNonCycleAccurateContract:
+    def test_all_variants_finish(self, variant_runs):
+        for variant in NON_CYCLE_ACCURATE:
+            __, finished = variant_runs[variant]
+            assert finished, f"{variant.value} did not reach _halt"
+
+    def test_same_console_output_as_cycle_accurate(self, variant_runs):
+        reference, __ = variant_runs[VariantName.INITIAL]
+        for variant in NON_CYCLE_ACCURATE:
+            platform, __ = variant_runs[variant]
+            assert platform.console_output == reference.console_output
+
+    def test_fewer_cycles_than_cycle_accurate(self, variant_runs):
+        reference, __ = variant_runs[VariantName.REDUCED_SCHEDULING]
+        reference_cycles = reference.statistics.cycles
+        for variant in NON_CYCLE_ACCURATE:
+            platform, __ = variant_runs[variant]
+            assert platform.statistics.cycles < reference_cycles, \
+                f"{variant.value} should need fewer simulated cycles"
+
+    def test_each_step_reduces_or_keeps_cycles(self, variant_runs):
+        ordered = [variant_runs[variant][0].statistics.cycles
+                   for variant in NON_CYCLE_ACCURATE[:3]]
+        assert ordered[1] <= ordered[0]
+
+    def test_kernel_capture_reduces_retired_instructions(self, variant_runs):
+        without, __ = variant_runs[VariantName.REDUCED_SCHEDULING_2]
+        with_capture, __ = variant_runs[VariantName.KERNEL_FUNCTION_CAPTURE]
+        assert with_capture.statistics.instructions_retired \
+            < without.statistics.instructions_retired
+        assert with_capture.statistics.interception_hits >= 4
+
+    def test_capture_preserves_memory_contents(self, variant_runs):
+        from repro.software.bootgen import KERNEL_DEST_ADDRESS
+        reference, __ = variant_runs[VariantName.REDUCED_SCHEDULING_2]
+        captured, __ = variant_runs[VariantName.KERNEL_FUNCTION_CAPTURE]
+        for offset in range(0, 32, 4):
+            address = KERNEL_DEST_ADDRESS + offset
+            assert captured.memory_map.read_word(address) \
+                == reference.memory_map.read_word(address)
+
+
+class TestStructuralDifferences:
+    def test_gated_peripherals_rarely_scheduled(self, variant_runs):
+        always, __ = variant_runs[VariantName.SUPPRESS_MAIN_MEMORY]
+        gated, __ = variant_runs[VariantName.REDUCED_SCHEDULING_2]
+        assert gated.ethernet.process.activation_count \
+            < always.ethernet.process.activation_count / 10
+        assert gated.gpio.process.activation_count \
+            < always.gpio.process.activation_count / 10
+
+    def test_combined_variant_has_fewer_processes(self, variant_runs):
+        separate, __ = variant_runs[VariantName.REDUCED_PORT_READING]
+        combined, __ = variant_runs[VariantName.REDUCED_SCHEDULING]
+        assert combined.process_count() < separate.process_count()
+
+    def test_port_read_reduction_observable(self, variant_runs):
+        naive, __ = variant_runs[VariantName.THREADS_TO_METHODS]
+        reduced, __ = variant_runs[VariantName.REDUCED_PORT_READING]
+        naive_reads = naive.sdram.address_port.read_count \
+            / max(1, naive.statistics.cycles)
+        reduced_reads = reduced.sdram.address_port.read_count \
+            / max(1, reduced.statistics.cycles)
+        assert reduced_reads < naive_reads
+
+    def test_trace_variant_records_changes(self):
+        platform = VanillaNetPlatform(
+            variant_config(VariantName.INITIAL_TRACE))
+        platform.load_program(hello_program("t"))
+        platform.run_cycles(300)
+        assert platform.tracer is not None
+        assert platform.tracer.traced_count > 20
+        assert platform.tracer.change_count > 50
+        vcd_text = platform.tracer.writer.getvalue()
+        assert "$enddefinitions" in vcd_text
+        assert "#" in vcd_text
+
+
+class TestDispatcherStatistics:
+    def test_dispatcher_served_the_fetches(self, variant_runs):
+        platform, __ = variant_runs[VariantName.SUPPRESS_INSTRUCTION_MEMORY]
+        assert platform.dispatcher.instruction_fetches \
+            > platform.statistics.instructions_retired * 0.5
+
+    def test_main_memory_suppression_serves_data(self, variant_runs):
+        platform, __ = variant_runs[VariantName.SUPPRESS_MAIN_MEMORY]
+        assert platform.dispatcher.data_accesses > 0
+        assert platform.sdram.detached

@@ -1,0 +1,177 @@
+"""Unit tests for VCD tracing and kernel-function interception."""
+
+import pytest
+
+from repro.iss import (FunctionalMicroBlaze, KernelFunctionInterceptor,
+                       memcpy_handler, memset_handler)
+from repro.isa import assemble
+from repro.kernel import SimTime, Simulator
+from repro.peripherals import MemoryMap, MemoryStorage
+from repro.signals import Clock, ResolvedSignal, Signal
+from repro.software import memory_exercise_program
+from repro.tracing import Tracer, VcdWriter
+
+
+class TestVcdWriter:
+    def test_header_and_change_format(self):
+        writer = VcdWriter()
+        code = writer.declare("clk", 1)
+        bus_code = writer.declare("addr", 32)
+        writer.record(0, code, 1, 1)
+        writer.record(1000, bus_code, 0x10, 32)
+        text = writer.getvalue()
+        assert "$timescale 1ps $end" in text
+        assert f"$var wire 1 {code} clk $end" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text and "#1000" in text
+        assert f"1{code}" in text
+        assert f"b10000 {bus_code}" in text
+        assert writer.change_count == 2
+
+    def test_declare_after_start_rejected(self):
+        writer = VcdWriter()
+        code = writer.declare("a", 1)
+        writer.record(0, code, 0, 1)
+        with pytest.raises(RuntimeError):
+            writer.declare("b", 1)
+
+    def test_logic_vector_values(self):
+        from repro.datatypes import LogicVector
+        writer = VcdWriter()
+        code = writer.declare("bus", 4)
+        writer.record(0, code, LogicVector(4, "10XZ"), 4)
+        assert "b10xz" in writer.getvalue()
+
+    def test_same_timestamp_grouped(self):
+        writer = VcdWriter()
+        a = writer.declare("a", 1)
+        b = writer.declare("b", 1)
+        writer.record(500, a, 1, 1)
+        writer.record(500, b, 0, 1)
+        assert writer.getvalue().count("#500") == 1
+
+
+class TestTracer:
+    def test_event_driven_mode_records_changes(self):
+        sim = Simulator()
+        signal = Signal(sim, "s", 0)
+        tracer = Tracer(sim)
+        tracer.trace(signal, "s", 8)
+
+        def stimulus():
+            signal.write(1)
+            yield SimTime.ns(1)
+            signal.write(2)
+            yield SimTime.ns(1)
+
+        sim.spawn_thread("stim", stimulus)
+        sim.run(SimTime.ns(5))
+        assert tracer.change_count == 2
+        assert tracer.traced_count == 1
+
+    def test_polled_mode_scans_on_event(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        signal = ResolvedSignal(sim, "bus", 8, 0)
+        tracer = Tracer(sim, poll_event=clock.posedge_event())
+        tracer.trace(signal, "bus")
+        tracer.trace(clock, "clk", 1)
+
+        def stimulus():
+            yield SimTime.ns(25)
+            signal.write(0x55, driver="tb")
+
+        sim.spawn_thread("stim", stimulus)
+        sim.run(SimTime.ns(100))
+        assert tracer.poll_count == 10
+        assert tracer.change_count >= 2     # initial sample + the change
+
+    def test_tracer_adds_one_process_in_polled_mode(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        tracer = Tracer(sim, poll_event=clock.posedge_event())
+        for index in range(5):
+            tracer.trace(Signal(sim, f"s{index}", 0))
+        assert sim.process_count() == 1
+
+
+def _interception_system():
+    memory = MemoryMap([MemoryStorage("ram", 0, 0x4000)])
+    system = FunctionalMicroBlaze(memory_map=memory)
+    system.load_program(memory_exercise_program(region_bytes=48))
+    return system
+
+
+class TestKernelFunctionInterception:
+    def test_handlers_replicate_memset_memcpy(self):
+        reference = _interception_system()
+        reference.run(200_000)
+        intercepted = _interception_system()
+        hooked = intercepted.enable_interception()
+        assert hooked == 2
+        intercepted.run(200_000)
+        result = intercepted.symbols.address_of("result")
+        assert intercepted.memory.read_word(result) \
+            == reference.memory.read_word(result) == 0xA5 * 48
+        copy = intercepted.symbols.address_of("copy")
+        assert intercepted.memory.read(copy, 1) == 0xA5
+
+    def test_interception_reduces_retired_instructions(self):
+        reference = _interception_system()
+        reference.run(200_000)
+        intercepted = _interception_system()
+        intercepted.enable_interception()
+        intercepted.run(200_000)
+        assert intercepted.core.stats.instructions_retired \
+            < reference.core.stats.instructions_retired / 2
+        assert intercepted.core.stats.interception_hits == 2
+        assert intercepted.core.stats.effective_instructions \
+            > intercepted.core.stats.instructions_retired
+
+    def test_disable_restores_full_execution(self):
+        system = _interception_system()
+        system.enable_interception()
+        system.interceptor.disable()
+        system.run(200_000)
+        assert system.core.stats.interception_hits == 0
+
+    def test_handler_register_semantics(self):
+        memory = MemoryMap([MemoryStorage("ram", 0, 0x1000)])
+        interceptor = KernelFunctionInterceptor(memory)
+        interceptor.register(0x100, "memset", memset_handler)
+        interceptor.register(0x200, "memcpy", memcpy_handler)
+        assert set(interceptor.registered_addresses) == {0x100, 0x200}
+
+    def test_memset_handler_direct(self):
+        memory = MemoryMap([MemoryStorage("ram", 0, 0x1000)])
+        from repro.iss import MicroBlazeCore
+        core = MicroBlazeCore(fetch=lambda a: 0)
+        core.regs.write(5, 0x100)       # dest
+        core.regs.write(6, 0x7E)        # value
+        core.regs.write(7, 8)           # length
+        result = memset_handler(core, memory)
+        assert result.bytes_processed == 8
+        assert memory.read(0x100, 1) == 0x7E
+        assert memory.read(0x107, 1) == 0x7E
+        assert core.regs.read(3) == 0x100
+
+    def test_memcpy_handler_direct(self):
+        memory = MemoryMap([MemoryStorage("ram", 0, 0x1000)])
+        for offset in range(4):
+            memory.write(0x200 + offset, offset + 1, 1)
+        from repro.iss import MicroBlazeCore
+        core = MicroBlazeCore(fetch=lambda a: 0)
+        core.regs.write(5, 0x300)
+        core.regs.write(6, 0x200)
+        core.regs.write(7, 4)
+        memcpy_handler(core, memory)
+        assert memory.read(0x300, 4) == 0x01020304
+
+    def test_no_interception_in_delay_slot(self):
+        memory = MemoryMap([MemoryStorage("ram", 0, 0x1000)])
+        interceptor = KernelFunctionInterceptor(memory)
+        from repro.iss import MicroBlazeCore
+        core = MicroBlazeCore(fetch=lambda a: 0)
+        interceptor.register(core.pc, "memset", memset_handler)
+        core._branch_after_delay = 0x40
+        assert interceptor.maybe_intercept(core) is None
