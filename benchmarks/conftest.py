@@ -12,10 +12,22 @@ benchmark run finishes in minutes.
 
 from __future__ import annotations
 
+import json
+import pathlib
+
 import pytest
 
+from repro.kernel import ENGINE_GENERIC
 from repro.platform import VanillaNetPlatform, VariantName, variant_config
 from repro.software import BootParams, build_boot_program
+
+#: Machine-readable benchmark results (variant x engine -> CPS + kernel
+#: counters), merged across benchmark runs so the performance trajectory of
+#: the repository is comparable from PR to PR.
+BENCH_FIG2_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "BENCH_fig2.json"
+
+BENCH_FIG2_SCHEMA = "bench-fig2/v1"
 
 #: Boot workload used by the figure-2 benchmarks (small but representative).
 BENCH_BOOT_PARAMS = BootParams(
@@ -31,9 +43,11 @@ INSTRUCTIONS_PER_ROUND = 250
 RTL_CYCLES_PER_ROUND = 400
 
 
-def build_variant_platform(variant: VariantName) -> VanillaNetPlatform:
+def build_variant_platform(variant: VariantName,
+                           engine: str = ENGINE_GENERIC
+                           ) -> VanillaNetPlatform:
     """A platform in the given Figure 2 configuration with the boot loaded."""
-    platform = VanillaNetPlatform(variant_config(variant))
+    platform = VanillaNetPlatform(variant_config(variant, engine=engine))
     platform.load_program(build_boot_program(BENCH_BOOT_PARAMS))
     # Warm up: get past the very first instructions so each measured round
     # samples steady-state boot activity.
@@ -59,6 +73,41 @@ def record_speed(benchmark, platform: VanillaNetPlatform,
     benchmark.extra_info["cpi"] = round(
         stats.cycles / max(1, stats.instructions_retired), 2)
     benchmark.extra_info["processes"] = platform.process_count()
+
+
+def record_fig2_results(results) -> dict:
+    """Merge measured variant results into ``BENCH_fig2.json``.
+
+    ``results`` is an iterable of
+    :class:`~repro.core.experiment.VariantResult`.  Entries are keyed by
+    ``variant/engine`` so repeated benchmark runs update in place, and the
+    file keeps results for every engine a run measured.  Returns the full
+    document written.
+    """
+    document = load_fig2_results()
+    for result in results:
+        key = f"{result.variant.value}/{result.engine}"
+        document["entries"][key] = {
+            "variant": result.variant.value,
+            "engine": result.engine,
+            "cps_khz": round(result.cps_khz, 3),
+            "counters": dict(result.kernel_counters),
+        }
+    BENCH_FIG2_PATH.write_text(json.dumps(document, indent=2,
+                                          sort_keys=True) + "\n")
+    return document
+
+
+def load_fig2_results() -> dict:
+    """The current ``BENCH_fig2.json`` document (empty skeleton if absent)."""
+    if BENCH_FIG2_PATH.exists():
+        try:
+            document = json.loads(BENCH_FIG2_PATH.read_text())
+            if document.get("schema") == BENCH_FIG2_SCHEMA:
+                return document
+        except (ValueError, AttributeError):
+            pass
+    return {"schema": BENCH_FIG2_SCHEMA, "entries": {}}
 
 
 @pytest.fixture(scope="session")

@@ -58,6 +58,20 @@ def test_boot_with_and_without_capture(benchmark, capture):
     platform = benchmark.pedantic(full_boot, rounds=2, iterations=1,
                                   warmup_rounds=0)
     stats = platform.statistics
+    # Footprint of the hot-path objects this boot schedules every cycle.
+    # All of them are __slots__ classes; the recorded sizes make the
+    # per-object saving (no per-instance __dict__) visible across PRs.
+    import sys
+    hot_objects = {
+        "signal": platform.intc.irq,
+        "process": platform.microblaze.main_process,
+        "port": platform.sdram.select_port,
+        "event": platform.clock.posedge_event(),
+    }
+    benchmark.extra_info["hot_object_bytes"] = {
+        name: sys.getsizeof(obj) for name, obj in hot_objects.items()}
+    benchmark.extra_info["hot_objects_dictless"] = all(
+        not hasattr(obj, "__dict__") for obj in hot_objects.values())
     benchmark.extra_info["boot_cycles"] = cycle_counts[-1]
     benchmark.extra_info["retired"] = stats.instructions_retired
     benchmark.extra_info["intercepted"] = stats.instructions_intercepted

@@ -18,8 +18,11 @@ from repro.software import hello_program
 
 
 def main() -> None:
+    # engine="clocked" runs the same model on the synchronous fast-path
+    # engine; "generic" is the general-purpose reference kernel.  The
+    # architectural results are identical either way.
     config = ModelConfig(name="quickstart", data_mode=DataMode.NATIVE,
-                         use_methods=True)
+                         use_methods=True, engine="clocked")
     platform = VanillaNetPlatform(config)
 
     program = hello_program("Hello from the SystemC-style MicroBlaze model!")
@@ -33,6 +36,7 @@ def main() -> None:
     stats = platform.statistics
     print(f"finished:              {finished}")
     print(f"model configuration:   {config.describe()}")
+    print(f"simulation engine:     {platform.sim.kind}")
     print(f"simulation processes:  {platform.process_count()}")
     print(f"simulated cycles:      {platform.cycle_count}")
     print(f"instructions retired:  {stats.instructions_retired}")

@@ -27,7 +27,7 @@ from ..datatypes import byte_lane_mask
 from ..kernel.errors import ModelError
 from ..kernel.events import Event
 from ..kernel.module import Module
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals.ports import InPort, OutPort
 from .signals import (OpbBusSignals, OpbInterconnect, OpbMasterSignals,
                       coerce_bit, coerce_int, peek_int, read_bit, read_int)
@@ -46,6 +46,8 @@ class OpbMasterPort:
     positive edge; :meth:`transfer` yields ``None`` once per clock cycle
     while the transfer is in flight.
     """
+
+    __slots__ = ("name", "signals", "bus", "transfer_count", "cycles_spent")
 
     def __init__(self, name: str, signals: OpbMasterSignals,
                  bus: OpbBusSignals) -> None:
@@ -97,7 +99,7 @@ class OpbArbiter(Module):
     mirroring the priority MicroBlaze gives its data port.
     """
 
-    def __init__(self, sim: Simulator, name: str,
+    def __init__(self, sim: SimulationEngine, name: str,
                  interconnect: OpbInterconnect, clock,
                  use_method: bool = True,
                  gate_rare_slaves: bool = False,
@@ -179,7 +181,7 @@ class OpbSlave(Module):
     #: Cycles between observing ``select`` and asserting ``xfer_ack``.
     latency = 1
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  size: int, interconnect: OpbInterconnect, clock,
                  use_method: bool = True,
                  reduced_port_reading: bool = False,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..datatypes import LogicVector
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import DataMode, make_signal
 
 
@@ -81,7 +81,7 @@ class OpbMasterSignals:
     byte_enable: object = None
 
     @classmethod
-    def create(cls, sim: Simulator, name: str,
+    def create(cls, sim: SimulationEngine, name: str,
                mode: DataMode) -> "OpbMasterSignals":
         """Create the per-master signal set in the requested data mode."""
         return cls(
@@ -120,7 +120,7 @@ class OpbBusSignals:
     master_id: object = None
 
     @classmethod
-    def create(cls, sim: Simulator, name: str,
+    def create(cls, sim: SimulationEngine, name: str,
                mode: DataMode) -> "OpbBusSignals":
         """Create the shared bus signal set in the requested data mode."""
         return cls(
@@ -161,7 +161,7 @@ class OpbInterconnect:
     extra: dict = field(default_factory=dict)
 
     @classmethod
-    def create(cls, sim: Simulator, mode: DataMode,
+    def create(cls, sim: SimulationEngine, mode: DataMode,
                name: str = "opb") -> "OpbInterconnect":
         """Create the full interconnect in the requested data mode."""
         return cls(

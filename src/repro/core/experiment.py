@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..kernel.engine import ENGINE_GENERIC, engine_kinds
 from ..platform import (VanillaNetPlatform, VariantName,
                         PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
                         variant_config)
@@ -48,7 +49,7 @@ class ExperimentOptions:
 
 @dataclass
 class VariantResult:
-    """Measured behaviour of one Figure 2 variant."""
+    """Measured behaviour of one Figure 2 variant on one engine."""
 
     variant: VariantName
     speed: AggregatedSpeed
@@ -57,6 +58,10 @@ class VariantResult:
     memset_memcpy_fraction: float = 0.0
     interception_hits: int = 0
     notes: list[str] = field(default_factory=list)
+    #: Simulation engine the variant ran on (``"generic"``/``"clocked"``).
+    engine: str = ENGINE_GENERIC
+    #: Kernel work counters accumulated over the whole measured run.
+    kernel_counters: dict = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -101,15 +106,17 @@ class Figure2Experiment:
         self.options = options if options is not None else ExperimentOptions()
 
     # -- individual variants -------------------------------------------------
-    def measure_variant(self, variant: VariantName) -> VariantResult:
-        """Measure one variant and return its result."""
+    def measure_variant(self, variant: VariantName,
+                        engine: str = ENGINE_GENERIC) -> VariantResult:
+        """Measure one variant on one simulation engine."""
         if variant is VariantName.RTL_HDL:
-            return self._measure_rtl()
-        return self._measure_systemc(variant)
+            return self._measure_rtl(engine)
+        return self._measure_systemc(variant, engine)
 
-    def _measure_systemc(self, variant: VariantName) -> VariantResult:
+    def _measure_systemc(self, variant: VariantName,
+                         engine: str = ENGINE_GENERIC) -> VariantResult:
         options = self.options
-        platform = VanillaNetPlatform(variant_config(variant))
+        platform = VanillaNetPlatform(variant_config(variant, engine=engine))
         program = build_boot_program(options.boot_params())
         platform.load_program(program)
         speed = AggregatedSpeed(variant.value)
@@ -143,11 +150,13 @@ class Figure2Experiment:
             console_excerpt=platform.console_output[:120],
             memset_memcpy_fraction=fraction,
             interception_hits=stats.interception_hits,
+            engine=engine,
+            kernel_counters=platform.sim.stats.as_dict(),
         )
 
-    def _measure_rtl(self) -> VariantResult:
+    def _measure_rtl(self, engine: str = ENGINE_GENERIC) -> VariantResult:
         options = self.options
-        system = RtlVanillaNetSystem()
+        system = RtlVanillaNetSystem(engine=engine)
         system.load_program(memory_exercise_program(region_bytes=64))
         speed = AggregatedSpeed(VariantName.RTL_HDL.value)
         stats = system.core.stats
@@ -173,12 +182,31 @@ class Figure2Experiment:
             console_excerpt=system.console_output[:120],
             notes=["RTL baseline runs the 'simpler program', as in the "
                    "paper (a full boot is infeasible at RTL speed)"],
+            engine=engine,
+            kernel_counters=system.sim.stats.as_dict(),
         )
 
     # -- the full figure -----------------------------------------------------------
-    def run(self, variants: Optional[Sequence[VariantName]] = None
-            ) -> list[VariantResult]:
+    def run(self, variants: Optional[Sequence[VariantName]] = None,
+            engine: str = ENGINE_GENERIC) -> list[VariantResult]:
         """Measure all requested variants (default: every Figure 2 bar)."""
         if variants is None:
             variants = list(VariantName)
-        return [self.measure_variant(variant) for variant in variants]
+        return [self.measure_variant(variant, engine=engine)
+                for variant in variants]
+
+    def run_engine_comparison(
+            self, variants: Optional[Sequence[VariantName]] = None,
+            engines: Optional[Sequence[str]] = None) -> list[VariantResult]:
+        """Measure every requested variant on every requested engine.
+
+        This produces the engine-ablation rows of the extended Figure 2
+        table: the same model, same workload and same measurement windows,
+        differing only in the engine executing the model.
+        """
+        if variants is None:
+            variants = list(VariantName)
+        if engines is None:
+            engines = list(engine_kinds())
+        return [self.measure_variant(variant, engine=engine)
+                for variant in variants for engine in engines]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..kernel.engine import ENGINE_CLOCKED, ENGINE_GENERIC
 from ..platform import VariantName
 from .experiment import VariantResult
 from .metrics import format_duration
@@ -29,20 +30,39 @@ class Figure2Report:
     results: list[VariantResult]
 
     # -- access helpers -------------------------------------------------------
-    def result_for(self, variant: VariantName) -> VariantResult:
-        """The result of one variant; raises ``KeyError`` when absent."""
+    def result_for(self, variant: VariantName,
+                   engine: Optional[str] = None) -> VariantResult:
+        """The result of one variant; raises ``KeyError`` when absent.
+
+        Without ``engine`` the generic-engine row is preferred (the paper's
+        own figure is a generic-engine measurement), falling back to
+        whichever engine row is present.
+        """
+        fallback = None
         for result in self.results:
             if result.variant is variant:
-                return result
-        raise KeyError(variant)
+                if engine is None:
+                    if result.engine == ENGINE_GENERIC:
+                        return result
+                    if fallback is None:
+                        fallback = result
+                elif result.engine == engine:
+                    return result
+        if fallback is not None:
+            return fallback
+        raise KeyError((variant, engine))
 
-    def has(self, variant: VariantName) -> bool:
-        """True when the report contains the given variant."""
-        return any(result.variant is variant for result in self.results)
+    def has(self, variant: VariantName,
+            engine: Optional[str] = None) -> bool:
+        """True when the report contains the given variant (and engine)."""
+        return any(result.variant is variant
+                   and (engine is None or result.engine == engine)
+                   for result in self.results)
 
-    def cps(self, variant: VariantName) -> float:
+    def cps(self, variant: VariantName,
+            engine: Optional[str] = None) -> float:
         """Measured CPS (Hz) of a variant."""
-        return self.result_for(variant).speed.mean_cps
+        return self.result_for(variant, engine).speed.mean_cps
 
     # -- summary quantities (paper sections 4.6 / 5.5 / 7) ----------------------
     def speedup_over_rtl(self, variant: VariantName) -> float:
@@ -86,6 +106,69 @@ class Figure2Report:
         if after_minutes <= 0:
             return float("inf")
         return before.projected_boot_minutes / after_minutes
+
+    # -- engine comparison (the ClockedEngine ablation) -------------------------
+    def engines_present(self) -> list[str]:
+        """Engine names appearing in the report, generic first."""
+        seen = []
+        for result in self.results:
+            if result.engine not in seen:
+                seen.append(result.engine)
+        seen.sort(key=lambda name: (name != ENGINE_GENERIC, name))
+        return seen
+
+    def engine_speedup(self, variant: VariantName,
+                       engine: str = ENGINE_CLOCKED,
+                       over: str = ENGINE_GENERIC) -> float:
+        """CPS ratio of one engine over another for the same variant."""
+        base = self.cps(variant, over)
+        if base <= 0:
+            return float("inf")
+        return self.cps(variant, engine) / base
+
+    def engine_rows(self) -> list[dict]:
+        """Engine-ablation rows: one per (variant, engine) pair present."""
+        rows = []
+        for result in self.results:
+            row = {
+                "variant": result.variant.value,
+                "engine": result.engine,
+                "measured_cps_khz": result.cps_khz,
+                "kernel_counters": dict(result.kernel_counters),
+            }
+            if result.engine != ENGINE_GENERIC \
+                    and self.has(result.variant, ENGINE_GENERIC):
+                row["speedup_over_generic"] = self.engine_speedup(
+                    result.variant, result.engine)
+            rows.append(row)
+        return rows
+
+    def format_engine_table(self) -> str:
+        """Text table comparing engines per variant (empty when only one
+        engine was measured)."""
+        if len(self.engines_present()) < 2:
+            return ""
+        header = (f"{'configuration':<24} {'engine':>8} {'CPS [kHz]':>10} "
+                  f"{'vs generic':>11}")
+        lines = [header, "-" * len(header)]
+        for row in self.engine_rows():
+            speedup = row.get("speedup_over_generic")
+            speedup_text = f"{speedup:.2f}x" if speedup is not None else "-"
+            lines.append(f"{row['variant']:<24} {row['engine']:>8} "
+                         f"{row['measured_cps_khz']:>10.3f} "
+                         f"{speedup_text:>11}")
+        return "\n".join(lines)
+
+    def best_engine_speedup(self) -> float:
+        """The largest clocked-over-generic CPS ratio in the report."""
+        best = 0.0
+        for result in self.results:
+            if result.engine == ENGINE_GENERIC:
+                continue
+            if self.has(result.variant, ENGINE_GENERIC):
+                best = max(best, self.engine_speedup(result.variant,
+                                                     result.engine))
+        return best
 
     # -- shape checks --------------------------------------------------------------
     def shape_checks(self) -> dict[str, bool]:
@@ -146,6 +229,7 @@ class Figure2Report:
         for result in self.results:
             rows.append({
                 "variant": result.variant.value,
+                "engine": result.engine,
                 "label": result.label,
                 "measured_cps_khz": result.cps_khz,
                 "measured_effective_cps_khz": result.effective_cps_khz,

@@ -29,7 +29,7 @@ from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
 from ..bus.opb import OpbMasterPort
 from ..kernel.errors import ModelError
 from ..kernel.module import Module
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..peripherals.dispatcher import MemoryDispatcher
 from ..signals import Signal
 from .core import MicroBlazeCore
@@ -42,7 +42,7 @@ INTERRUPT_ENTRY_CYCLES = 2
 class MicroBlazeWrapper(Module):
     """Cycle-accurate MicroBlaze: ISS core plus bus interface processes."""
 
-    def __init__(self, sim: Simulator, name: str, clock,
+    def __init__(self, sim: SimulationEngine, name: str, clock,
                  instruction_port: OpbMasterPort,
                  data_port: OpbMasterPort,
                  lmb: Optional[LocalMemoryBus] = None,

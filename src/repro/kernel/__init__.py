@@ -2,7 +2,10 @@
 
 Public surface:
 
-* :class:`Simulator` -- the scheduler / simulation context.
+* :class:`SimulationEngine` -- the engine interface models are built
+  against; :func:`create_engine` instantiates one by name.
+* :class:`Simulator` -- the general-purpose (generic) engine.
+* :class:`ClockedEngine` -- the single-clock synchronous fast path.
 * :class:`Module` -- base class for hardware models.
 * :class:`Event`, :class:`EventOrList` -- synchronisation primitives.
 * :class:`ThreadProcess`, :class:`MethodProcess` -- process kinds.
@@ -10,6 +13,9 @@ Public surface:
 * :class:`KernelStatistics` -- scheduling-work counters.
 """
 
+from .clocked import ClockedEngine
+from .engine import (ENGINE_CLOCKED, ENGINE_GENERIC, SimulationEngine,
+                     create_engine, engine_kinds)
 from .errors import (AddressError, AlignmentError, AssemblerError,
                      BindingError, DecodeError, KernelError, ModelError,
                      MultipleDriverError, ReproError, SimulationFinished,
@@ -17,10 +23,17 @@ from .errors import (AddressError, AlignmentError, AssemblerError,
 from .events import Event, EventOrList
 from .module import Module, negedge, posedge
 from .process import MethodProcess, Process, ThreadProcess
-from .scheduler import KernelStatistics, Simulator
+from .scheduler import Simulator
 from .simtime import SimTime, TimeUnit, ZERO_TIME, to_picoseconds
+from .statistics import KernelStatistics
 
 __all__ = [
+    "ClockedEngine",
+    "ENGINE_CLOCKED",
+    "ENGINE_GENERIC",
+    "SimulationEngine",
+    "create_engine",
+    "engine_kinds",
     "AddressError",
     "AlignmentError",
     "AssemblerError",

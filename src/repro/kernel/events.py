@@ -21,8 +21,8 @@ from typing import TYPE_CHECKING, Iterable, Optional
 from .simtime import SimTime, _as_ps
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import SimulationEngine
     from .process import Process
-    from .scheduler import Simulator
 
 
 class Event:
@@ -31,15 +31,15 @@ class Event:
     Parameters
     ----------
     sim:
-        The owning :class:`~repro.kernel.scheduler.Simulator`.
+        The owning :class:`~repro.kernel.engine.SimulationEngine`.
     name:
         Optional diagnostic name (shown in ``repr`` and kernel errors).
     """
 
     __slots__ = ("sim", "name", "_static_procs", "_dynamic_procs",
-                 "_pending_kind", "_pending_time")
+                 "_pending_kind", "_pending_time", "_static_version")
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: "SimulationEngine", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._static_procs: list["Process"] = []
@@ -49,17 +49,22 @@ class Event:
         # overrides a later one; an immediate overrides everything).
         self._pending_kind: Optional[str] = None
         self._pending_time: int = 0
+        # Bumped whenever the static sensitivity list changes, so engines
+        # that precompute activation schedules can invalidate their caches.
+        self._static_version: int = 0
 
     # -- sensitivity management -------------------------------------------
     def add_static(self, process: "Process") -> None:
         """Register ``process`` as statically sensitive to this event."""
         if process not in self._static_procs:
             self._static_procs.append(process)
+            self._static_version += 1
 
     def remove_static(self, process: "Process") -> None:
         """Remove ``process`` from the static sensitivity list."""
         if process in self._static_procs:
             self._static_procs.remove(process)
+            self._static_version += 1
 
     def add_dynamic(self, process: "Process") -> None:
         """Register ``process`` as dynamically waiting on this event."""

@@ -19,7 +19,7 @@ from typing import Callable, Iterable, Optional
 from .errors import KernelError
 from .events import Event
 from .process import MethodProcess, ThreadProcess
-from .scheduler import Simulator
+from .engine import SimulationEngine
 
 
 def _as_events(sensitive: Iterable) -> list[Event]:
@@ -65,7 +65,7 @@ class Module:
         Optional enclosing module.
     """
 
-    def __init__(self, sim: Simulator, name: str,
+    def __init__(self, sim: SimulationEngine, name: str,
                  parent: Optional["Module"] = None) -> None:
         self.sim = sim
         self.basename = name

@@ -24,15 +24,19 @@ from .events import Event, EventOrList
 from .simtime import SimTime, _as_ps
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .scheduler import Simulator
+    from .engine import SimulationEngine
 
 
 class Process:
     """Common behaviour shared by thread and method processes."""
 
+    __slots__ = ("sim", "name", "func", "static_sensitivity",
+                 "dont_initialize", "terminated", "activation_count",
+                 "_runnable_queued", "_waiting_dynamic")
+
     kind = "process"
 
-    def __init__(self, sim: "Simulator", name: str,
+    def __init__(self, sim: "SimulationEngine", name: str,
                  func: Callable, sensitivity: Iterable[Event] = (),
                  dont_initialize: bool = False) -> None:
         self.sim = sim
@@ -101,9 +105,12 @@ class MethodProcess(Process):
     used by the paper's section 4.5.2 "multicycle sleep" optimisation.
     """
 
+    __slots__ = ("_next_trigger_override", "_timeout_event",
+                 "_timeout_armed")
+
     kind = "method"
 
-    def __init__(self, sim: "Simulator", name: str,
+    def __init__(self, sim: "SimulationEngine", name: str,
                  func: Callable, sensitivity: Iterable[Event] = (),
                  dont_initialize: bool = False) -> None:
         super().__init__(sim, name, func, sensitivity, dont_initialize)
@@ -191,9 +198,12 @@ class ThreadProcess(Process):
       way).
     """
 
+    __slots__ = ("_generator", "_started", "_timeout_event",
+                 "_waiting_static", "_waiting_time")
+
     kind = "thread"
 
-    def __init__(self, sim: "Simulator", name: str,
+    def __init__(self, sim: "SimulationEngine", name: str,
                  func: Callable, sensitivity: Iterable[Event] = (),
                  dont_initialize: bool = False) -> None:
         super().__init__(sim, name, func, sensitivity, dont_initialize)

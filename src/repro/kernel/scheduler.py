@@ -1,323 +1,82 @@
-"""The discrete-event scheduler (the "SystemC kernel" of this library).
+"""The generic discrete-event engine (the "SystemC kernel" of this library).
 
-The scheduler follows the SystemC 2.x evaluate / update / delta-notify
-execution semantics:
-
-1. *Evaluation phase*: every runnable process executes.  Processes may write
-   primitive channels (which request an update), notify events immediately
-   (making further processes runnable in the same phase), or request delta /
-   timed notifications.
-2. *Update phase*: each primitive channel with a pending update request
-   commits its new value.  Channels whose value actually changed request a
-   delta notification of their value-changed event.
-3. *Delta-notification phase*: queued delta notifications trigger their
-   processes.  If any process became runnable, a new delta cycle of the same
-   simulation time starts at step 1.
-4. Otherwise simulation time advances to the earliest pending timed
-   notification and the cycle repeats.
+:class:`Simulator` is the general-purpose implementation of
+:class:`~repro.kernel.engine.SimulationEngine`: it follows the SystemC 2.x
+evaluate / update / delta-notify execution semantics exactly as described in
+:mod:`repro.kernel.engine`, and keeps timed notifications in a ``heapq``
+priority queue so it supports arbitrary notification times from arbitrary
+models.
 
 The per-phase bookkeeping is deliberately explicit because the paper's
 optimisations (sections 4.3--4.5) are about reducing exactly this work:
-fewer processes scheduled per cycle, fewer channel updates, fewer port reads.
-:class:`KernelStatistics` exposes the counters that make those savings
-visible in tests and benchmarks.
+fewer processes scheduled per cycle, fewer channel updates, fewer port
+reads.  :class:`KernelStatistics` exposes the counters that make those
+savings visible in tests and benchmarks.  The clock-synchronous fast-path
+engine lives in :mod:`repro.kernel.clocked`.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
-from .errors import KernelError, SimulationStopped
+from .engine import ENGINE_GENERIC, SimulationEngine
+from .statistics import KernelStatistics  # noqa: F401  (historical import site)
 from .events import Event
-from .process import MethodProcess, Process, ThreadProcess
-from .simtime import SimTime, _as_ps
+from .simtime import _as_ps
 
 
-@dataclass
-class KernelStatistics:
-    """Counters describing how much work the kernel performed.
+class Simulator(SimulationEngine):
+    """The general-purpose engine: heapq timed queue, no model assumptions.
 
-    The figure-2 experiments use these to show *why* an optimisation is
-    faster (for example "reduced scheduling" lowers ``process_activations``
-    per simulated clock cycle).
+    This is the reference implementation every other engine must match
+    architecturally.  Kept under its historical name because the whole
+    model layer originally type-hinted against it; models now accept any
+    :class:`~repro.kernel.engine.SimulationEngine`.
     """
 
-    process_activations: int = 0
-    delta_cycles: int = 0
-    timed_steps: int = 0
-    channel_updates: int = 0
-    events_notified: int = 0
-    per_process: dict = field(default_factory=dict)
-
-    def snapshot(self) -> "KernelStatistics":
-        """Return a copy of the current counters."""
-        return KernelStatistics(
-            process_activations=self.process_activations,
-            delta_cycles=self.delta_cycles,
-            timed_steps=self.timed_steps,
-            channel_updates=self.channel_updates,
-            events_notified=self.events_notified,
-            per_process=dict(self.per_process),
-        )
-
-    def delta(self, earlier: "KernelStatistics") -> "KernelStatistics":
-        """Return the difference between this snapshot and an earlier one."""
-        return KernelStatistics(
-            process_activations=(self.process_activations
-                                 - earlier.process_activations),
-            delta_cycles=self.delta_cycles - earlier.delta_cycles,
-            timed_steps=self.timed_steps - earlier.timed_steps,
-            channel_updates=self.channel_updates - earlier.channel_updates,
-            events_notified=self.events_notified - earlier.events_notified,
-        )
-
-
-class Simulator:
-    """The simulation context: owns time, processes, channels and events.
-
-    A model is built by instantiating modules/signals against a simulator and
-    then calling :meth:`run`.  The simulator can be resumed repeatedly, which
-    the non-cycle-accurate experiments use to toggle optimisations at run
-    time (paper section 5).
-    """
+    kind = ENGINE_GENERIC
 
     def __init__(self, name: str = "sim") -> None:
-        self.name = name
-        self.time_ps: int = 0
-        self.delta_count: int = 0
-        self.stats = KernelStatistics()
-        self._runnable: deque[Process] = deque()
-        self._update_queue: list = []
-        self._delta_events: list[Event] = []
+        super().__init__(name)
         self._timed_queue: list[tuple[int, int, object]] = []
         self._timed_seq = 0
-        self._processes: list[Process] = []
-        self._current_process: Optional[Process] = None
-        self._initialized = False
-        self._stop_requested = False
-        self._finished = False
-        self._max_delta_cycles = 10_000
-        self._end_of_elaboration_callbacks: list[Callable[[], None]] = []
 
-    # ------------------------------------------------------------------ #
-    # construction helpers
-    # ------------------------------------------------------------------ #
-    @property
-    def current_time(self) -> SimTime:
-        """Current simulation time as a :class:`SimTime`."""
-        return SimTime(self.time_ps)
-
-    @property
-    def current_process(self) -> Optional[Process]:
-        """The process currently executing, if any."""
-        return self._current_process
-
-    def create_event(self, name: str = "") -> Event:
-        """Create a free-standing event bound to this simulator."""
-        return Event(self, name)
-
-    def register_process(self, process: Process) -> Process:
-        """Track a process (called by module/spawn helpers)."""
-        self._processes.append(process)
-        if self._initialized and not process.dont_initialize:
-            process._make_runnable()
-        return process
-
-    def spawn_thread(self, name: str, func: Callable,
-                     sensitive: Iterable[Event] = (),
-                     dont_initialize: bool = False) -> ThreadProcess:
-        """Create and register a thread process outside any module."""
-        process = ThreadProcess(self, name, func, sensitive, dont_initialize)
-        return self.register_process(process)  # type: ignore[return-value]
-
-    def spawn_method(self, name: str, func: Callable,
-                     sensitive: Iterable[Event] = (),
-                     dont_initialize: bool = False) -> MethodProcess:
-        """Create and register a method process outside any module."""
-        process = MethodProcess(self, name, func, sensitive, dont_initialize)
-        return self.register_process(process)  # type: ignore[return-value]
-
-    def on_end_of_elaboration(self, callback: Callable[[], None]) -> None:
-        """Register a callback run once, just before simulation starts."""
-        self._end_of_elaboration_callbacks.append(callback)
-
-    def next_trigger(self, spec=None) -> None:
-        """Forward ``next_trigger`` to the currently running method process."""
-        process = self._current_process
-        if not isinstance(process, MethodProcess):
-            raise KernelError("next_trigger() may only be called from a "
-                              "method process")
-        process.next_trigger(spec)
-
-    # ------------------------------------------------------------------ #
-    # queues used by events / channels / processes
-    # ------------------------------------------------------------------ #
-    def _queue_runnable(self, process: Process) -> None:
-        self._runnable.append(process)
-
-    def _queue_delta_notification(self, event: Event) -> None:
-        self._delta_events.append(event)
-
+    # -- timed notifications ------------------------------------------------
     def _queue_timed_notification(self, time_ps: int, event: Event) -> None:
         self._timed_seq += 1
         heapq.heappush(self._timed_queue, (time_ps, self._timed_seq, event))
 
-    def schedule_action(self, delay: "SimTime | int",
-                        action: Callable[[], None]) -> None:
-        """Schedule a bare callable to run at ``now + delay``.
-
-        Used by primitive channels such as the clock that need precise timed
-        self-scheduling without a full process.
-        """
+    def schedule_action(self, delay, action: Callable[[], None]) -> None:
+        """Schedule a bare callable to run at ``now + delay``."""
         self._timed_seq += 1
         heapq.heappush(self._timed_queue,
-                       (self.time_ps + _as_ps(delay), self._timed_seq, action))
+                       (self.time_ps + _as_ps(delay), self._timed_seq,
+                        action))
 
-    def _cancel_notification(self, event: Event) -> None:
-        if event in self._delta_events:
-            self._delta_events = [e for e in self._delta_events
-                                  if e is not event]
+    def _cancel_timed_notification(self, event: Event) -> None:
         self._timed_queue = [entry for entry in self._timed_queue
                              if entry[2] is not event]
         heapq.heapify(self._timed_queue)
 
-    def request_update(self, channel) -> None:
-        """Request that ``channel._update()`` run in the next update phase."""
-        if not channel._update_requested:
-            channel._update_requested = True
-            self._update_queue.append(channel)
+    def _has_timed_activity(self) -> bool:
+        return bool(self._timed_queue)
 
-    # ------------------------------------------------------------------ #
-    # simulation control
-    # ------------------------------------------------------------------ #
-    def stop(self) -> None:
-        """Stop the simulation at the end of the current process execution."""
-        self._stop_requested = True
-
-    @property
-    def finished(self) -> bool:
-        """True when no further activity is possible."""
-        return self._finished
-
-    def initialize(self) -> None:
-        """Run elaboration callbacks and seed the initial runnable set."""
-        if self._initialized:
-            return
-        for callback in self._end_of_elaboration_callbacks:
-            callback()
-        for process in self._processes:
-            if not process.dont_initialize:
-                process._make_runnable()
-        self._initialized = True
-
-    def run(self, duration: "SimTime | int | None" = None) -> SimTime:
-        """Advance the simulation.
-
-        ``duration`` limits how far simulation time may advance (relative to
-        the current time); ``None`` runs until no activity remains or
-        :meth:`stop` is called.  Returns the simulation time reached.
-        """
-        self.initialize()
-        self._stop_requested = False
-        end_time = None
-        if duration is not None:
-            end_time = self.time_ps + _as_ps(duration)
-        try:
-            self._run_loop(end_time)
-        except SimulationStopped:
-            pass
-        return SimTime(self.time_ps)
-
-    # ------------------------------------------------------------------ #
-    # the main loop
-    # ------------------------------------------------------------------ #
-    def _run_loop(self, end_time: Optional[int]) -> None:
-        stats = self.stats
-        while True:
-            # -- evaluation + update + delta loop at the current time ------
-            deltas_here = 0
-            while self._runnable or self._update_queue or self._delta_events:
-                if self._runnable:
-                    self._evaluation_phase()
-                    if self._stop_requested:
-                        return
-                if self._update_queue:
-                    self._update_phase()
-                if self._delta_events:
-                    self._delta_notification_phase()
-                if self._runnable:
-                    self.delta_count += 1
-                    stats.delta_cycles += 1
-                    deltas_here += 1
-                    if deltas_here > self._max_delta_cycles:
-                        raise KernelError(
-                            f"more than {self._max_delta_cycles} delta "
-                            f"cycles at time {self.current_time}; "
-                            f"probable combinational loop")
-            # -- advance time ----------------------------------------------
-            if not self._timed_queue:
-                self._finished = True
-                return
-            next_time = self._timed_queue[0][0]
-            if end_time is not None and next_time > end_time:
-                self.time_ps = end_time
-                return
-            self.time_ps = next_time
-            stats.timed_steps += 1
-            while self._timed_queue and self._timed_queue[0][0] == next_time:
-                __, __, item = heapq.heappop(self._timed_queue)
-                if isinstance(item, Event):
-                    stats.events_notified += 1
-                    item.trigger_processes()
-                else:
-                    item()
-
-    def _evaluation_phase(self) -> None:
-        stats = self.stats
-        runnable = self._runnable
-        while runnable:
-            process = runnable.popleft()
-            stats.process_activations += 1
-            process.execute()
-            if self._stop_requested:
-                return
-
-    def _update_phase(self) -> None:
-        queue = self._update_queue
-        self._update_queue = []
-        self.stats.channel_updates += len(queue)
-        for channel in queue:
-            channel._update_requested = False
-            channel._update()
-
-    def _delta_notification_phase(self) -> None:
-        events = self._delta_events
-        self._delta_events = []
-        self.stats.events_notified += len(events)
-        for event in events:
-            event.trigger_processes()
-
-    # ------------------------------------------------------------------ #
-    # introspection
-    # ------------------------------------------------------------------ #
-    @property
-    def processes(self) -> tuple[Process, ...]:
-        """All registered processes."""
-        return tuple(self._processes)
-
-    def process_count(self, kind: Optional[str] = None) -> int:
-        """Number of registered processes, optionally filtered by kind."""
-        if kind is None:
-            return len(self._processes)
-        return sum(1 for process in self._processes if process.kind == kind)
-
-    def pending_activity(self) -> bool:
-        """True if any runnable process or queued notification remains."""
-        return bool(self._runnable or self._update_queue
-                    or self._delta_events or self._timed_queue)
+    # -- time advance -------------------------------------------------------
+    def _advance_time(self, end_time: Optional[int], stats) -> bool:
+        if not self._timed_queue:
+            self._finished = True
+            return False
+        next_time = self._timed_queue[0][0]
+        if end_time is not None and next_time > end_time:
+            self.time_ps = end_time
+            return False
+        self.time_ps = next_time
+        stats.timed_steps += 1
+        while self._timed_queue and self._timed_queue[0][0] == next_time:
+            __, __, item = heapq.heappop(self._timed_queue)
+            self._deliver_timed_item(item, next_time, stats)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Simulator({self.name!r}, t={self.current_time}, "

@@ -13,7 +13,7 @@ from __future__ import annotations
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..datatypes import WORD_MASK
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import Signal
 
 
@@ -34,7 +34,7 @@ class EthernetMacProxy(OpbSlave):
     #: cleanly and then leaves the device alone.
     _DEFAULT_STATUS = 0x0000_0005
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  interconnect: OpbInterconnect, clock,
                  **slave_options) -> None:
         super().__init__(sim, name, base_address, 0x1000, interconnect,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..datatypes import WORD_MASK
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 
 
 class Gpio(OpbSlave):
@@ -23,7 +23,7 @@ class Gpio(OpbSlave):
     REG_DATA = 0x0
     REG_TRISTATE = 0x4
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  interconnect: OpbInterconnect, clock,
                  **slave_options) -> None:
         super().__init__(sim, name, base_address, 0x100, interconnect, clock,

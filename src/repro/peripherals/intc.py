@@ -23,7 +23,7 @@ from typing import Optional
 
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import Signal
 
 
@@ -40,7 +40,7 @@ class InterruptController(OpbSlave):
     REG_CIE = 0x14
     REG_MER = 0x1C
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  interconnect: OpbInterconnect, clock,
                  use_method: bool = True,
                  poll_process: bool = True,

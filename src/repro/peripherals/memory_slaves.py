@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from .memory import MemoryStorage
 
 
@@ -23,7 +23,7 @@ class MemorySlave(OpbSlave):
 
     latency = 1
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  size: int, interconnect: OpbInterconnect, clock,
                  latency: Optional[int] = None,
                  read_only: bool = False,
@@ -58,7 +58,7 @@ class SdramController(MemorySlave):
 
     latency = 2
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  size: int, interconnect: OpbInterconnect, clock,
                  **slave_options) -> None:
         super().__init__(sim, name, base_address, size, interconnect, clock,
@@ -76,7 +76,7 @@ class FlashController(MemorySlave):
 
     latency = 1
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  size: int, interconnect: OpbInterconnect, clock,
                  **slave_options) -> None:
         super().__init__(sim, name, base_address, size, interconnect, clock,

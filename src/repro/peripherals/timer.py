@@ -26,7 +26,7 @@ from typing import Optional
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..datatypes import WORD_MASK
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import Signal
 
 
@@ -44,7 +44,7 @@ class OpbTimer(OpbSlave):
     CTRL_INTERRUPT_ENABLE = 0x04
     CTRL_INTERRUPT_FLAG = 0x100
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  interconnect: OpbInterconnect, clock,
                  use_method: bool = True,
                  count_process: bool = True,

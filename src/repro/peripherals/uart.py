@@ -26,7 +26,7 @@ from typing import Optional
 
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import Fifo, Signal
 
 
@@ -83,7 +83,7 @@ class UartLite(OpbSlave):
     CONTROL_RESET_RX = 0x02
     CONTROL_ENABLE_INTERRUPT = 0x10
 
-    def __init__(self, sim: Simulator, name: str, base_address: int,
+    def __init__(self, sim: SimulationEngine, name: str, base_address: int,
                  interconnect: OpbInterconnect, clock,
                  console: Optional[ConsoleSink] = None,
                  fifo_depth: int = 16,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from ..kernel.engine import ENGINE_GENERIC
 from ..kernel.simtime import SimTime
 from ..signals import DataMode
 
@@ -132,6 +133,12 @@ class ModelConfig:
     uart_tx_sleep_cycles: int = 16
     #: System clock period.
     clock_period: SimTime = SimTime.ns(10)
+    #: Simulation engine running the model: ``"generic"`` (the
+    #: general-purpose evaluate/update/delta kernel) or ``"clocked"`` (the
+    #: synchronous fast path of :mod:`repro.kernel.clocked`).  Orthogonal
+    #: to every modelling-style knob above: any variant runs on either
+    #: engine with identical architectural results.
+    engine: str = ENGINE_GENERIC
 
     @property
     def is_cycle_accurate(self) -> bool:
@@ -167,21 +174,26 @@ class ModelConfig:
             options.append("gated rare peripherals")
         if self.kernel_function_capture:
             options.append("memset/memcpy capture")
+        if self.engine != ENGINE_GENERIC:
+            options.append(f"{self.engine} engine")
         return f"{self.name}: " + ", ".join(options)
 
 
-def variant_config(variant: VariantName) -> ModelConfig:
+def variant_config(variant: VariantName,
+                   engine: str = ENGINE_GENERIC) -> ModelConfig:
     """The :class:`ModelConfig` for a Figure 2 bar.
 
     Optimisations accumulate from left to right across the figure, exactly
     as in the paper (each bar adds one technique to the previous bar).
-    ``VariantName.RTL_HDL`` has no ``ModelConfig``; it is built by
-    :mod:`repro.rtl`.
+    ``engine`` selects the simulation engine the variant runs on without
+    changing the model itself.  ``VariantName.RTL_HDL`` has no
+    ``ModelConfig``; it is built by :mod:`repro.rtl` (which takes the same
+    ``engine`` selector directly).
     """
     if variant is VariantName.RTL_HDL:
         raise ValueError("the RTL HDL baseline is built by repro.rtl, "
                          "not from a ModelConfig")
-    config = ModelConfig(name=variant.value)
+    config = ModelConfig(name=variant.value, engine=engine)
     if variant is VariantName.INITIAL_TRACE:
         return config.with_updates(trace_enabled=True)
     if variant is VariantName.INITIAL:

@@ -17,7 +17,7 @@ from ..bus import (LocalMemoryBus, OpbArbiter, OpbInterconnect,
                    OpbMasterPort)
 from ..isa.assembler import Program
 from ..iss import KernelFunctionInterceptor, MicroBlazeWrapper
-from ..kernel import Module, Simulator
+from ..kernel import Module, SimulationEngine, create_engine
 from ..kernel.simtime import SimTime
 from ..peripherals import (ConsoleSink, EthernetMacProxy, FlashController,
                            Gpio, InterruptController, MemoryDispatcher,
@@ -33,10 +33,10 @@ class VanillaNetPlatform:
     """The complete target system, built per :class:`ModelConfig`."""
 
     def __init__(self, config: Optional[ModelConfig] = None,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[SimulationEngine] = None) -> None:
         self.config = config if config is not None else ModelConfig()
-        self.sim = sim if sim is not None else Simulator(
-            f"vanillanet[{self.config.name}]")
+        self.sim = sim if sim is not None else create_engine(
+            self.config.engine, f"vanillanet[{self.config.name}]")
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -283,8 +283,8 @@ class _CombinedSynchronousLogic(Module):
     mode (the paper's Listing 2 discussion).
     """
 
-    def __init__(self, sim: Simulator, name: str, clock, timer, intc,
-                 arbiter) -> None:
+    def __init__(self, sim: SimulationEngine, name: str, clock, timer,
+                 intc, arbiter) -> None:
         super().__init__(sim, name)
         self.timer = timer
         self.intc = intc

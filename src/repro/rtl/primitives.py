@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from ..kernel.module import Module
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 from ..signals import ResolvedSignal
 from ..signals.ports import InPort, OutPort
 
@@ -29,7 +29,7 @@ class RtlRegister(Module):
     netlist.  All connections are resolved logic vectors.
     """
 
-    def __init__(self, sim: Simulator, name: str, clock, width: int = 32,
+    def __init__(self, sim: SimulationEngine, name: str, clock, width: int = 32,
                  reset_value: int = 0) -> None:
         super().__init__(sim, name)
         self.width = width
@@ -92,7 +92,7 @@ class RtlCombinational(Module):
     reproduces the per-cycle scheduling load of the netlist.
     """
 
-    def __init__(self, sim: Simulator, name: str, clock,
+    def __init__(self, sim: SimulationEngine, name: str, clock,
                  inputs: Iterable[ResolvedSignal],
                  output: ResolvedSignal,
                  function: Callable[[list[int]], int]) -> None:

@@ -28,7 +28,8 @@ from typing import Optional
 from ..isa.assembler import Program
 from ..iss.core import MicroBlazeCore
 from ..kernel.module import Module
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import (ENGINE_GENERIC, SimulationEngine,
+                             create_engine)
 from ..kernel.simtime import SimTime
 from ..peripherals.memory import MemoryMap, MemoryStorage
 from ..platform import memory_map as mm
@@ -68,11 +69,13 @@ DEFAULT_NETLIST_SHADOW_REGISTERS = 224
 class RtlVanillaNetSystem:
     """RTL-structured model of the platform running a bare-metal program."""
 
-    def __init__(self, sim: Optional[Simulator] = None,
+    def __init__(self, sim: Optional[SimulationEngine] = None,
                  clock_period: SimTime = SimTime.ns(10),
                  netlist_shadow_registers: int =
-                 DEFAULT_NETLIST_SHADOW_REGISTERS) -> None:
-        self.sim = sim if sim is not None else Simulator("rtl_vanillanet")
+                 DEFAULT_NETLIST_SHADOW_REGISTERS,
+                 engine: str = ENGINE_GENERIC) -> None:
+        self.sim = sim if sim is not None \
+            else create_engine(engine, "rtl_vanillanet")
         self.netlist_shadow_registers = netlist_shadow_registers
         self.clock = Clock(self.sim, "rtl_clk", clock_period)
         self.memory = MemoryMap([
@@ -234,7 +237,7 @@ class _RtlControlFsm(Module):
     STATE_MEMORY = 3
     STATE_WRITEBACK = 4
 
-    def __init__(self, sim: Simulator, name: str, clock,
+    def __init__(self, sim: SimulationEngine, name: str, clock,
                  system: RtlVanillaNetSystem) -> None:
         super().__init__(sim, name)
         self.system = system

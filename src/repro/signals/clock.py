@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..kernel.engine import SimulationEngine
 from ..kernel.events import Event
-from ..kernel.scheduler import Simulator
 from ..kernel.simtime import SimTime, _as_ps
 
 
@@ -37,7 +37,12 @@ class Clock:
         ``period * (1 - duty_cycle)``; when False the clock starts high.
     """
 
-    def __init__(self, sim: Simulator, name: str,
+    __slots__ = ("sim", "name", "period_ps", "high_ps", "low_ps", "_value",
+                 "_posedge_event", "_negedge_event", "_changed_event",
+                 "posedge_count", "negedge_count", "_running",
+                 "_update_requested")
+
+    def __init__(self, sim: SimulationEngine, name: str,
                  period: "SimTime | int" = SimTime.ns(10),
                  duty_cycle: float = 0.5,
                  start_low: bool = True) -> None:
@@ -63,7 +68,11 @@ class Clock:
         # With ``start_low`` the first rising edge happens one full period in,
         # so posedge number N falls at time N * period.
         first_delay = self.period_ps if start_low else self.high_ps
-        sim.schedule_action(first_delay, self._edge)
+        # A clock-aware engine (the clocked fast path) takes over edge
+        # generation entirely; otherwise the clock schedules its own edges
+        # through the engine's timed queue.
+        if not sim.adopt_clock(self, first_delay):
+            sim.schedule_action(first_delay, self._edge)
 
     # -- signal-like interface ---------------------------------------------
     def read(self) -> bool:
@@ -128,7 +137,8 @@ class ManualClock:
     platform advances "cycles" without involving the timed event queue.
     """
 
-    def __init__(self, sim: Simulator, name: str = "manual_clock") -> None:
+    def __init__(self, sim: SimulationEngine,
+                 name: str = "manual_clock") -> None:
         self.sim = sim
         self.name = name
         self._value = False

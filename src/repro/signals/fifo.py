@@ -18,7 +18,7 @@ from collections import deque
 from typing import Deque, Generic, Optional, TypeVar
 
 from ..kernel.events import Event
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 
 ItemT = TypeVar("ItemT")
 
@@ -26,7 +26,7 @@ ItemT = TypeVar("ItemT")
 class Fifo(Generic[ItemT]):
     """A bounded first-in first-out channel."""
 
-    def __init__(self, sim: Simulator, name: str, depth: int = 16) -> None:
+    def __init__(self, sim: SimulationEngine, name: str, depth: int = 16) -> None:
         if depth <= 0:
             raise ValueError("FIFO depth must be positive")
         self.sim = sim

@@ -24,6 +24,8 @@ ValueT = TypeVar("ValueT")
 class Port(Generic[ValueT]):
     """Base port: holds the binding to a channel and usage counters."""
 
+    __slots__ = ("name", "_channel", "read_count", "write_count")
+
     direction = "inout"
 
     def __init__(self, name: str = "") -> None:
@@ -78,6 +80,8 @@ class Port(Generic[ValueT]):
 class InPort(Port[ValueT]):
     """Read-only port (``sc_in``)."""
 
+    __slots__ = ()
+
     direction = "in"
 
     def read(self) -> ValueT:
@@ -88,6 +92,8 @@ class InPort(Port[ValueT]):
 
 class OutPort(Port[ValueT]):
     """Write-only port (``sc_out``)."""
+
+    __slots__ = ()
 
     direction = "out"
 
@@ -127,6 +133,8 @@ class OutPort(Port[ValueT]):
 class InOutPort(OutPort[ValueT]):
     """Bidirectional port (``sc_inout`` / ``sc_inout_rv``)."""
 
+    __slots__ = ()
+
     direction = "inout"
 
     def read(self) -> ValueT:
@@ -143,6 +151,8 @@ class CachingInPort(InPort[ValueT]):
     channel.  ``underlying_reads`` exposes how many real reads happened so
     the benchmark can show the reduction.
     """
+
+    __slots__ = ("underlying_reads", "_cache_valid_at", "_cached_value")
 
     def __init__(self, name: str = "") -> None:
         super().__init__(name)

@@ -24,9 +24,9 @@ from enum import Enum
 from typing import Generic, Optional, TypeVar
 
 from ..datatypes import LogicVector, resolve_vectors
+from ..kernel.engine import SimulationEngine
 from ..kernel.errors import MultipleDriverError
 from ..kernel.events import Event
-from ..kernel.scheduler import Simulator
 
 ValueT = TypeVar("ValueT")
 
@@ -46,7 +46,10 @@ class DataMode(Enum):
 class SignalBase:
     """Shared bookkeeping for all signal kinds."""
 
-    def __init__(self, sim: Simulator, name: str) -> None:
+    __slots__ = ("sim", "name", "_changed_event", "_update_requested",
+                 "change_count", "read_count", "write_count")
+
+    def __init__(self, sim: SimulationEngine, name: str) -> None:
         self.sim = sim
         self.name = name
         self._changed_event = Event(sim, f"{name}.value_changed")
@@ -70,7 +73,9 @@ class SignalBase:
 class Signal(SignalBase, Generic[ValueT]):
     """Single-driver signal carrying a native Python value."""
 
-    def __init__(self, sim: Simulator, name: str,
+    __slots__ = ("_current", "_next", "_posedge_event", "_negedge_event")
+
+    def __init__(self, sim: SimulationEngine, name: str,
                  initial: ValueT = 0) -> None:  # type: ignore[assignment]
         super().__init__(sim, name)
         self._current: ValueT = initial
@@ -146,7 +151,9 @@ class UnresolvedSignal(Signal):
     exactly that difference when it is enabled.
     """
 
-    def __init__(self, sim: Simulator, name: str, initial=0) -> None:
+    __slots__ = ("_writer_this_delta",)
+
+    def __init__(self, sim: SimulationEngine, name: str, initial=0) -> None:
         super().__init__(sim, name, initial)
         self._writer_this_delta: Optional[object] = None
 
@@ -176,7 +183,10 @@ class ResolvedSignal(SignalBase):
     paper's initial model.
     """
 
-    def __init__(self, sim: Simulator, name: str, width: int = 1,
+    __slots__ = ("width", "_current", "_driver_values", "_dirty",
+                 "_posedge_event", "_negedge_event")
+
+    def __init__(self, sim: SimulationEngine, name: str, width: int = 1,
                  initial: "LogicVector | int | None" = None) -> None:
         super().__init__(sim, name)
         self.width = width
@@ -271,7 +281,7 @@ class ResolvedSignal(SignalBase):
         return f"ResolvedSignal({self.name!r}, value='{self._current}')"
 
 
-def make_signal(sim: Simulator, name: str, width: int,
+def make_signal(sim: SimulationEngine, name: str, width: int,
                 mode: DataMode, initial: int = 0):
     """Create a signal of ``width`` bits in the requested data mode.
 

@@ -20,7 +20,7 @@ import io
 from typing import Optional, TextIO
 
 from ..datatypes import LogicVector
-from ..kernel.scheduler import Simulator
+from ..kernel.engine import SimulationEngine
 
 
 class VcdWriter:
@@ -127,7 +127,7 @@ class Tracer:
       useful for unit tests that want exact change streams.
     """
 
-    def __init__(self, sim: Simulator,
+    def __init__(self, sim: SimulationEngine,
                  writer: Optional[VcdWriter] = None,
                  poll_event=None) -> None:
         self.sim = sim

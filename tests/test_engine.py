@@ -1,0 +1,537 @@
+"""Engine-seam tests: ClockedEngine semantics, cross-engine architectural
+identity, determinism regression, and the KernelStatistics per-process fix.
+"""
+
+import pytest
+
+from repro.kernel import (ClockedEngine, ENGINE_CLOCKED, ENGINE_GENERIC,
+                          KernelError, KernelStatistics, MethodProcess,
+                          Process, SimTime, SimulationEngine, Simulator,
+                          ThreadProcess, create_engine, engine_kinds)
+from repro.platform import (ModelConfig, VanillaNetPlatform, VariantName,
+                            variant_config)
+from repro.rtl import RtlVanillaNetSystem
+from repro.signals import Clock, ResolvedSignal, Signal
+from repro.signals.ports import CachingInPort, InPort, OutPort, Port
+from repro.software import BootParams, build_boot_program, hello_program
+
+SMALL_BOOT = BootParams(bss_bytes=32, kernel_copy_bytes=48,
+                        page_clear_bytes=16, page_clear_count=1,
+                        rootfs_copy_bytes=16, checksum_words=4,
+                        progress_dots=1, timer_ticks=1,
+                        timer_period_cycles=300, device_probe_rounds=1)
+
+
+def boot_platform(variant: VariantName, engine: str) -> VanillaNetPlatform:
+    platform = VanillaNetPlatform(variant_config(variant, engine=engine))
+    platform.load_program(build_boot_program(SMALL_BOOT))
+    return platform
+
+
+class TestEngineFactory:
+    def test_create_generic(self):
+        engine = create_engine(ENGINE_GENERIC, "g")
+        assert isinstance(engine, Simulator)
+        assert engine.kind == ENGINE_GENERIC
+
+    def test_create_clocked(self):
+        engine = create_engine(ENGINE_CLOCKED, "c")
+        assert isinstance(engine, ClockedEngine)
+        assert engine.kind == ENGINE_CLOCKED
+
+    def test_both_are_engines(self):
+        for kind in engine_kinds():
+            assert isinstance(create_engine(kind), SimulationEngine)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KernelError):
+            create_engine("warp-drive")
+
+    def test_config_selects_engine(self):
+        config = ModelConfig(name="x", engine=ENGINE_CLOCKED)
+        platform = VanillaNetPlatform(config)
+        assert isinstance(platform.sim, ClockedEngine)
+        assert "clocked engine" in config.describe()
+
+    def test_rtl_system_selects_engine(self):
+        system = RtlVanillaNetSystem(engine=ENGINE_CLOCKED)
+        assert isinstance(system.sim, ClockedEngine)
+
+
+class TestClockedEngineSemantics:
+    """The clocked engine must honour the same kernel contracts as the
+    generic one (mirrors key cases from test_kernel_scheduler)."""
+
+    def test_timed_event(self):
+        sim = ClockedEngine()
+        event = sim.create_event("later")
+        fired = []
+        sim.spawn_method("watcher", lambda: fired.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(5))
+        sim.run(SimTime.ns(10))
+        assert fired == [5000]
+
+    def test_run_duration_does_not_pass_end_time(self):
+        sim = ClockedEngine()
+        event = sim.create_event("later")
+        fired = []
+        sim.spawn_method("watcher", lambda: fired.append(True),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(50))
+        sim.run(SimTime.ns(10))
+        assert fired == []
+        assert sim.time_ps == 10_000
+        sim.run(SimTime.ns(100))
+        assert fired == [True]
+
+    def test_adopted_clock_edges(self):
+        sim = ClockedEngine()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        ticks = []
+        sim.spawn_method("tick", lambda: ticks.append(sim.time_ps),
+                         sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(35))
+        assert ticks == [10_000, 20_000, 30_000]
+        assert clock.cycles == 3
+        assert clock.negedge_count == 3  # 15 ns, 25 ns and 35 ns
+
+    def test_adopted_clock_negedge_observed(self):
+        sim = ClockedEngine()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        falls = []
+        sim.spawn_method("fall", lambda: falls.append(sim.time_ps),
+                         sensitive=[clock.negedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(30))
+        assert falls == [15_000, 25_000]
+
+    def test_clock_stop_finishes_simulation(self):
+        sim = ClockedEngine()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        sim.run(SimTime.ns(25))
+        clock.stop()
+        sim.run()
+        assert sim.finished
+
+    def test_thread_timed_wait(self):
+        sim = ClockedEngine()
+        log = []
+
+        def worker():
+            log.append(sim.time_ps)
+            yield SimTime.ns(3)
+            log.append(sim.time_ps)
+            yield SimTime.ns(4)
+            log.append(sim.time_ps)
+
+        sim.spawn_thread("w", worker)
+        sim.run()
+        assert log == [0, 3000, 7000]
+        assert sim.finished
+
+    def test_method_next_trigger_override_on_clock(self):
+        """A method using next_trigger(time) must skip clock activations
+        until the timeout matures (the gated-slave pattern)."""
+        sim = ClockedEngine()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        runs = []
+
+        def tick():
+            runs.append(sim.time_ps)
+            if len(runs) == 1:
+                # Sleep through the next two edges.
+                sim.next_trigger(clock.period_ps * 5 // 2)
+
+        sim.spawn_method("m", tick, sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(55))
+        assert runs == [10_000, 35_000, 40_000, 50_000]
+
+    def test_event_cancel_is_honoured(self):
+        sim = ClockedEngine()
+        event = sim.create_event("cancelled")
+        fired = []
+        sim.spawn_method("w", lambda: fired.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(5))
+        event.cancel()
+        # An unrelated event keeps time advancing past the cancelled slot.
+        other = sim.create_event("other")
+        sim.spawn_method("o", lambda: None, sensitive=[other],
+                         dont_initialize=True)
+        other.notify(SimTime.ns(8))
+        sim.run(SimTime.ns(20))
+        assert fired == []
+
+    def test_renotified_event_after_cancel(self):
+        sim = ClockedEngine()
+        event = sim.create_event("renotified")
+        fired = []
+        sim.spawn_method("w", lambda: fired.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(5))
+        event.cancel()
+        event.notify(SimTime.ns(9))
+        sim.run(SimTime.ns(20))
+        assert fired == [9000]
+
+    def test_unobserved_delta_notification_dropped(self):
+        """Signals nobody watches cost no event dispatch on the clocked
+        engine, and later subscribers still work."""
+        sim = ClockedEngine()
+        signal = Signal(sim, "s", 0)
+
+        def stimulus():
+            signal.write(1)
+            yield SimTime.ns(1)
+            signal.write(2)
+
+        sim.spawn_thread("stim", stimulus)
+        sim.run(SimTime.ns(0.5))
+        assert signal.value == 1
+        seen = []
+        sim.spawn_method("late", lambda: seen.append(signal.value),
+                         sensitive=[signal.default_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(5))
+        assert seen == [2]
+
+    def test_same_phase_subscriber_still_woken(self):
+        """A notify_delta() issued in the evaluation phase must wake a
+        process that only starts waiting later in the same phase (the
+        producer-before-consumer handshake pattern)."""
+        for engine in (Simulator(), ClockedEngine()):
+            event = engine.create_event("handshake")
+            log = []
+
+            def producer(event=event, engine=engine, log=log):
+                log.append(("produce", engine.time_ps))
+                event.notify_delta()
+
+            def consumer(event=event, engine=engine, log=log):
+                yield event
+                log.append(("consume", engine.time_ps))
+
+            engine.spawn_method("producer", producer, dont_initialize=False)
+            engine.spawn_thread("consumer", consumer)
+            engine.run(SimTime.ns(1))
+            assert ("consume", 0) in log, engine.kind
+
+    @pytest.mark.parametrize("engine_class", [Simulator, ClockedEngine])
+    def test_renotify_earlier_fires_once(self, engine_class):
+        """notify(later) then notify(earlier): the earlier notification
+        overrides and the event fires exactly once (no stale double
+        delivery from the superseded queue entry)."""
+        sim = engine_class()
+        event = sim.create_event("renotified")
+        fired = []
+        sim.spawn_method("w", lambda: fired.append(sim.time_ps),
+                         sensitive=[event], dont_initialize=True)
+        event.notify(SimTime.ns(100))
+        event.notify(SimTime.ns(50))
+        sim.run(SimTime.ns(200))
+        assert fired == [50_000]
+
+    def test_coincident_timed_wakeup_runs_before_edge_processes(self):
+        """A timed wakeup maturing exactly on a clock edge runs one delta
+        BEFORE the edge-sensitive processes on both engines (edge events
+        are delta-notified; direct timed triggers are not)."""
+        logs = {}
+        for engine_class in (Simulator, ClockedEngine):
+            sim = engine_class()
+            clock = Clock(sim, "clk", SimTime.ns(10))
+            log = []
+            state = {"flag": 0}
+
+            def writer(log=log, state=state, sim=sim):
+                # Matures at t=20 ns, exactly on the second rising edge.
+                yield SimTime.ns(20)
+                state["flag"] = 1
+                log.append(("writer", sim.time_ps))
+
+            def reader(log=log, state=state, sim=sim):
+                log.append(("reader", sim.time_ps, state["flag"]))
+
+            sim.spawn_thread("writer", writer)
+            sim.spawn_method("reader", reader,
+                             sensitive=[clock.posedge_event()],
+                             dont_initialize=True)
+            sim.run(SimTime.ns(25))
+            logs[engine_class.__name__] = log
+        assert logs["Simulator"] == logs["ClockedEngine"]
+        # At t=20 ns the writer must precede the reader, who sees flag=1.
+        assert ("writer", 20_000) in logs["Simulator"]
+        assert ("reader", 20_000, 1) in logs["Simulator"]
+
+    def test_wait_spec_matrix_identical_across_engines(self):
+        """Every wait-specification kind produces identical wake times on
+        both engines (guards the inlined process fast paths against
+        drifting from process.py)."""
+        def run_workload(engine_class):
+            sim = engine_class()
+            clock = Clock(sim, "clk", SimTime.ns(10))
+            ping = sim.create_event("ping")
+            pong = sim.create_event("pong")
+            log = []
+
+            def all_specs(sim=sim, clock=clock, ping=ping, pong=pong,
+                          log=log):
+                yield None                      # static sensitivity
+                log.append(("static", sim.time_ps))
+                yield SimTime.ns(7)             # timed
+                log.append(("timed", sim.time_ps))
+                yield 0                         # zero-time (next delta)
+                log.append(("zero", sim.time_ps))
+                yield ping                      # single event
+                log.append(("event", sim.time_ps))
+                yield ping | pong               # or-list
+                log.append(("orlist", sim.time_ps))
+                yield (ping, pong)              # tuple of events
+                log.append(("tuple", sim.time_ps))
+
+            def notifier(sim=sim, ping=ping, pong=pong):
+                yield SimTime.ns(40)
+                ping.notify()                   # immediate
+                yield SimTime.ns(10)
+                pong.notify(SimTime.ns(2))      # timed event notify
+                yield SimTime.ns(10)
+                ping.notify_delta()
+
+            def ticker(sim=sim, log=log):
+                log.append(("tick", sim.time_ps))
+                sim.next_trigger(SimTime.ns(25))
+
+            sim.spawn_thread("specs", all_specs,
+                             sensitive=[clock.posedge_event()])
+            sim.spawn_thread("notify", notifier)
+            sim.spawn_method("ticker", ticker,
+                             sensitive=[clock.posedge_event()],
+                             dont_initialize=True)
+            sim.run(SimTime.ns(100))
+            return sorted(log)
+
+        assert run_workload(Simulator) == run_workload(ClockedEngine)
+
+    def test_resolved_signals_on_clocked_engine(self):
+        sim = ClockedEngine()
+        signal = ResolvedSignal(sim, "rv", 8)
+
+        def driver():
+            signal.write(0x5A, driver="a")
+            yield SimTime.ns(1)
+
+        sim.spawn_thread("d", driver)
+        sim.run(SimTime.ns(2))
+        assert signal.value.to_int() == 0x5A
+
+    def test_stop_halts_evaluation(self):
+        sim = ClockedEngine()
+        executed = []
+
+        def stopper():
+            executed.append("stopper")
+            sim.stop()
+
+        sim.spawn_method("stopper", stopper)
+        sim.spawn_method("other", lambda: executed.append("other"))
+        sim.run()
+        assert executed == ["stopper"]
+
+    @pytest.mark.parametrize("engine_class", [Simulator, ClockedEngine])
+    def test_stop_from_clocked_process_halts_peers(self, engine_class):
+        """stop() called by a clock-scheduled process must keep the other
+        edge-scheduled processes from running until a resume — identically
+        on both engines (guards the direct schedule-execution path)."""
+        sim = engine_class()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        executed = []
+
+        def stopper():
+            executed.append(("stopper", sim.time_ps))
+            sim.stop()
+
+        sim.spawn_method("stopper", stopper,
+                         sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.spawn_method("other",
+                         lambda: executed.append(("other", sim.time_ps)),
+                         sensitive=[clock.posedge_event()],
+                         dont_initialize=True)
+        sim.run(SimTime.ns(15))
+        assert executed == [("stopper", 10_000)]
+        # Resuming delivers the already-triggered peer at the same time.
+        sim.run(SimTime.ns(1))
+        assert executed == [("stopper", 10_000), ("other", 10_000)]
+
+
+class TestCrossEngineIdentity:
+    """The ClockedEngine accuracy contract: identical architectural results
+    to the generic engine for the same model and workload."""
+
+    @pytest.mark.parametrize("variant", [VariantName.NATIVE_TYPES,
+                                         VariantName.REDUCED_SCHEDULING,
+                                         VariantName.KERNEL_FUNCTION_CAPTURE])
+    def test_boot_identical(self, variant):
+        generic = boot_platform(variant, ENGINE_GENERIC)
+        clocked = boot_platform(variant, ENGINE_CLOCKED)
+        finished_generic = generic.run_until_halt(max_cycles=900_000,
+                                                  chunk_cycles=2_000)
+        finished_clocked = clocked.run_until_halt(max_cycles=900_000,
+                                                  chunk_cycles=2_000)
+        assert finished_generic and finished_clocked
+        assert generic.statistics.instructions_retired \
+            == clocked.statistics.instructions_retired
+        assert generic.cycle_count == clocked.cycle_count
+        assert generic.console_output == clocked.console_output
+        assert generic.architectural_state() \
+            == clocked.architectural_state()
+
+    def test_rtl_identical(self):
+        results = {}
+        for engine in (ENGINE_GENERIC, ENGINE_CLOCKED):
+            system = RtlVanillaNetSystem(engine=engine,
+                                         netlist_shadow_registers=16)
+            system.load_program(hello_program("rtl!"))
+            system.run_until_halt(max_cycles=40_000, chunk_cycles=1_000)
+            results[engine] = (system.core.stats.instructions_retired,
+                               system.console_output,
+                               system.cycle_count,
+                               system.core.register_state())
+        assert results[ENGINE_GENERIC] == results[ENGINE_CLOCKED]
+
+    def test_modelled_kernel_work_identical(self):
+        """Process activations and channel updates (the modelled work) are
+        identical; only the notification machinery differs."""
+        generic = boot_platform(VariantName.NATIVE_TYPES, ENGINE_GENERIC)
+        clocked = boot_platform(VariantName.NATIVE_TYPES, ENGINE_CLOCKED)
+        generic.run_cycles(2_000)
+        clocked.run_cycles(2_000)
+        generic_stats = generic.sim.stats
+        clocked_stats = clocked.sim.stats
+        assert generic_stats.process_activations \
+            == clocked_stats.process_activations
+        assert generic_stats.channel_updates \
+            == clocked_stats.channel_updates
+        assert clocked_stats.events_notified \
+            < generic_stats.events_notified
+
+
+class TestDeterminism:
+    """Two runs of the same variant on the same engine must produce the
+    identical process-activation order and identical final statistics
+    (guards the static-schedule fast path against ordering bugs)."""
+
+    @pytest.mark.parametrize("engine", [ENGINE_GENERIC, ENGINE_CLOCKED])
+    def test_activation_order_and_stats_reproducible(self, engine):
+        def run_once():
+            platform = boot_platform(VariantName.NATIVE_TYPES, engine)
+            trace = platform.sim.enable_activation_trace()
+            platform.run_cycles(1_500)
+            return list(trace), platform.sim.stats.snapshot()
+
+        trace_a, stats_a = run_once()
+        trace_b, stats_b = run_once()
+        assert trace_a == trace_b
+        assert stats_a == stats_b
+        assert stats_a.per_process  # attribution present and non-empty
+
+    @pytest.mark.parametrize("engine", [ENGINE_GENERIC, ENGINE_CLOCKED])
+    def test_gated_variant_reproducible(self, engine):
+        """The gated/next_trigger paths must be deterministic too."""
+        def run_once():
+            platform = boot_platform(VariantName.REDUCED_SCHEDULING_2,
+                                     engine)
+            trace = platform.sim.enable_activation_trace()
+            platform.run_cycles(1_500)
+            return list(trace), platform.sim.stats.snapshot()
+
+        assert run_once() == run_once()
+
+
+class TestKernelStatisticsPerProcess:
+    def test_delta_includes_per_process(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        counts = {"a": 0, "b": 0}
+        sim.spawn_method("proc_a", lambda: counts.__setitem__(
+            "a", counts["a"] + 1), sensitive=[clock.posedge_event()],
+            dont_initialize=True)
+        sim.run(SimTime.ns(35))        # 3 posedges
+        before = sim.stats.snapshot()
+        assert before.per_process == {"proc_a": 3}
+        sim.spawn_method("proc_b", lambda: counts.__setitem__(
+            "b", counts["b"] + 1), sensitive=[clock.posedge_event()],
+            dont_initialize=True)
+        sim.run(SimTime.ns(20))        # 2 more posedges
+        window = sim.stats.snapshot().delta(before)
+        assert window.per_process == {"proc_a": 2, "proc_b": 2}
+        assert window.process_activations == 4
+
+    def test_delta_omits_idle_processes(self):
+        sim = Simulator()
+        event = sim.create_event("once")
+        sim.spawn_method("once_only", lambda: None, sensitive=[event],
+                         dont_initialize=True)
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(5))
+        before = sim.stats.snapshot()
+        sim.run(SimTime.ns(5))
+        window = sim.stats.snapshot().delta(before)
+        assert window.per_process == {}
+
+    def test_detached_snapshot_is_static(self):
+        sim = Simulator()
+        event = sim.create_event("e")
+        sim.spawn_method("m", lambda: None, sensitive=[event],
+                         dont_initialize=True)
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(2))
+        snapshot = sim.stats.snapshot()
+        event.notify(SimTime.ns(1))
+        sim.run(SimTime.ns(2))
+        assert snapshot.per_process == {"m": 1}
+        assert sim.stats.snapshot().per_process == {"m": 2}
+
+    def test_standalone_statistics_delta(self):
+        late = KernelStatistics(process_activations=10, delta_cycles=5,
+                                per_process={"p": 10})
+        early = KernelStatistics(process_activations=4, delta_cycles=2,
+                                 per_process={"p": 4})
+        window = late.delta(early)
+        assert window.process_activations == 6
+        assert window.per_process == {"p": 6}
+
+
+class TestSlotsSatellite:
+    """The hot-path classes must not carry per-instance __dict__."""
+
+    @pytest.mark.parametrize("factory", [
+        lambda sim: Signal(sim, "s", 0),
+        lambda sim: ResolvedSignal(sim, "rv", 8),
+        lambda sim: Clock(sim, "clk", SimTime.ns(10)),
+        lambda sim: sim.create_event("e"),
+        lambda sim: sim.spawn_method("m", lambda: None, dont_initialize=True),
+        lambda sim: sim.spawn_thread("t", lambda: None,
+                                     dont_initialize=True),
+        lambda sim: InPort("in"),
+        lambda sim: OutPort("out"),
+        lambda sim: CachingInPort("cache"),
+    ])
+    def test_no_instance_dict(self, factory):
+        sim = Simulator()
+        instance = factory(sim)
+        assert not hasattr(instance, "__dict__"), type(instance).__name__
+
+    def test_opb_master_port_slotted(self):
+        from repro.bus.opb import OpbMasterPort
+        assert "__dict__" not in dir(OpbMasterPort) or \
+            not any("__dict__" in getattr(klass, "__dict__", {})
+                    for klass in OpbMasterPort.__mro__)
+        platform = boot_platform(VariantName.NATIVE_TYPES, ENGINE_GENERIC)
+        assert not hasattr(platform.instruction_port, "__dict__")
+
+    def test_process_classes_slotted(self):
+        for klass in (Process, MethodProcess, ThreadProcess, Port):
+            assert "__slots__" in vars(klass), klass.__name__
