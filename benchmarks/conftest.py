@@ -17,17 +17,33 @@ import pathlib
 
 import pytest
 
+from repro.bus import BUS_SIGNAL
 from repro.kernel import ENGINE_GENERIC
 from repro.platform import VanillaNetPlatform, VariantName, variant_config
 from repro.software import BootParams, build_boot_program
 
-#: Machine-readable benchmark results (variant x engine -> CPS + kernel
-#: counters), merged across benchmark runs so the performance trajectory of
-#: the repository is comparable from PR to PR.
+#: Machine-readable benchmark results (variant x engine x bus level -> CPS
+#: + kernel counters), merged across benchmark runs so the performance
+#: trajectory of the repository is comparable from PR to PR.
 BENCH_FIG2_PATH = pathlib.Path(__file__).resolve().parent.parent \
     / "BENCH_fig2.json"
 
-BENCH_FIG2_SCHEMA = "bench-fig2/v1"
+BENCH_FIG2_SCHEMA = "bench-fig2/v2"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every test under ``benchmarks/`` with the ``bench`` marker.
+
+    Tier-1 CI deselects these (``-m "not bench"``) so the fast correctness
+    suite is never blocked behind a measurement run.  The path guard
+    matters: conftest hooks receive the whole session's item list, so a
+    root invocation collecting ``tests/`` and ``benchmarks/`` together
+    must not mark the correctness tests too.
+    """
+    benchmarks_dir = pathlib.Path(__file__).resolve().parent
+    for item in items:
+        if benchmarks_dir in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 #: Boot workload used by the figure-2 benchmarks (small but representative).
 BENCH_BOOT_PARAMS = BootParams(
@@ -44,10 +60,12 @@ RTL_CYCLES_PER_ROUND = 400
 
 
 def build_variant_platform(variant: VariantName,
-                           engine: str = ENGINE_GENERIC
+                           engine: str = ENGINE_GENERIC,
+                           bus_level: str = BUS_SIGNAL
                            ) -> VanillaNetPlatform:
     """A platform in the given Figure 2 configuration with the boot loaded."""
-    platform = VanillaNetPlatform(variant_config(variant, engine=engine))
+    platform = VanillaNetPlatform(variant_config(variant, engine=engine,
+                                                 bus_level=bus_level))
     platform.load_program(build_boot_program(BENCH_BOOT_PARAMS))
     # Warm up: get past the very first instructions so each measured round
     # samples steady-state boot activity.
@@ -80,16 +98,17 @@ def record_fig2_results(results) -> dict:
 
     ``results`` is an iterable of
     :class:`~repro.core.experiment.VariantResult`.  Entries are keyed by
-    ``variant/engine`` so repeated benchmark runs update in place, and the
-    file keeps results for every engine a run measured.  Returns the full
-    document written.
+    ``variant/engine/bus_level`` so repeated benchmark runs update in
+    place, and the file keeps results for every engine and bus level a run
+    measured.  Returns the full document written.
     """
     document = load_fig2_results()
     for result in results:
-        key = f"{result.variant.value}/{result.engine}"
+        key = f"{result.variant.value}/{result.engine}/{result.bus_level}"
         document["entries"][key] = {
             "variant": result.variant.value,
             "engine": result.engine,
+            "bus_level": result.bus_level,
             "cps_khz": round(result.cps_khz, 3),
             "counters": dict(result.kernel_counters),
         }

@@ -13,12 +13,15 @@ halves it again.
 from __future__ import annotations
 
 import pathlib
+import time
 
 from conftest import (BENCH_FIG2_PATH, BENCH_FIG2_SCHEMA, load_fig2_results,
                       record_fig2_results)
+from repro.bus import BUS_SIGNAL, bus_levels
 from repro.core import ExperimentOptions, Figure2Experiment, build_report
 from repro.kernel import engine_kinds
-from repro.platform import VariantName
+from repro.platform import VanillaNetPlatform, VariantName, variant_config
+from repro.software import build_boot_program
 
 RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent \
     / "figure2_reproduction.txt"
@@ -32,6 +35,39 @@ OPTIONS = ExperimentOptions(instructions_per_phase=200, phases=3,
 ENGINE_MATRIX_OPTIONS = ExperimentOptions(
     instructions_per_phase=150, phases=2, rtl_cycles_per_phase=500,
     boot_scale=0.4, chunk_cycles=200)
+
+
+def _tracing_slowdown_interleaved(rounds: int = 4,
+                                  instructions: int = 150) -> float:
+    """Untraced-over-traced CPS ratio of the initial model, measured with
+    interleaved best-of CPU-time windows.
+
+    The tracing cost on the resolved-signal initial model is only a few
+    percent here (the Python-hosted resolved signals dwarf the tracer, see
+    the shape-check comment in core/figure2.py), so the sequential
+    wall-clock windows of the full sweep can invert it under host load.
+    Interleaving cancels the drift and CPU time cancels co-tenant noise.
+    """
+    variants = (VariantName.INITIAL, VariantName.INITIAL_TRACE)
+    platforms = {}
+    for variant in variants:
+        platform = VanillaNetPlatform(variant_config(variant))
+        platform.load_program(build_boot_program(OPTIONS.boot_params()))
+        platform.run_instructions(30, chunk_cycles=200)
+        platforms[variant] = platform
+    best = {variant: 0.0 for variant in variants}
+    for __ in range(rounds):
+        for variant, platform in platforms.items():
+            cycles_before = platform.cycle_count
+            started = time.process_time()
+            platform.run_instructions(instructions, chunk_cycles=200)
+            elapsed = time.process_time() - started
+            cycles = platform.cycle_count - cycles_before
+            if cycles and elapsed > 0:
+                best[variant] = max(best[variant], cycles / elapsed)
+    if best[VariantName.INITIAL_TRACE] <= 0:
+        return float("inf")
+    return best[VariantName.INITIAL] / best[VariantName.INITIAL_TRACE]
 
 
 def test_figure2_full_reproduction(benchmark):
@@ -48,6 +84,14 @@ def test_figure2_full_reproduction(benchmark):
     table = report.format_table()
     summary = report.summary_lines()
     checks = report.shape_checks()
+    if not checks.get("tracing_slows_the_initial_model", True):
+        # The only few-percent-margin check: re-measure the two bars
+        # head-to-head before declaring a regression (the other checks
+        # compare order-of-magnitude effects).
+        slowdown = _tracing_slowdown_interleaved()
+        benchmark.extra_info["tracing_slowdown_remeasured"] = round(
+            slowdown, 3)
+        checks["tracing_slows_the_initial_model"] = slowdown > 1.03
     output = "\n".join([
         "Figure 2 reproduction (measured on this host, scaled boot "
         "workload)", "", table, "",
@@ -113,6 +157,10 @@ def test_bench_fig2_json_schema_complete():
 
     Runs after the matrix benchmark above (pytest executes tests in file
     order), so a full benchmark run always leaves a complete document.
+    Entries are keyed ``variant/engine/bus_level``; the engine matrix
+    fills the signal-level plane, and the bus-level benchmark
+    (test_bench_bus_levels.py) adds transaction/functional rows for its
+    measured subset.
     """
     assert BENCH_FIG2_PATH.exists(), \
         "BENCH_fig2.json missing; run the fig2 benchmarks first"
@@ -122,13 +170,16 @@ def test_bench_fig2_json_schema_complete():
     missing = []
     for variant in VariantName:
         for engine in engine_kinds():
-            key = f"{variant.value}/{engine}"
+            key = f"{variant.value}/{engine}/{BUS_SIGNAL}"
             if key not in entries:
                 missing.append(key)
     assert not missing, f"BENCH_fig2.json lacks entries: {missing}"
     for key, entry in entries.items():
-        assert set(entry) >= {"variant", "engine", "cps_khz", "counters"}, \
+        assert set(entry) >= {"variant", "engine", "bus_level", "cps_khz",
+                              "counters"}, \
             f"entry {key} incomplete: {sorted(entry)}"
+        assert entry["bus_level"] in bus_levels(), \
+            f"entry {key} has unknown bus level {entry['bus_level']!r}"
         assert entry["cps_khz"] > 0, f"entry {key} has non-positive CPS"
         assert set(entry["counters"]) >= {
             "process_activations", "delta_cycles", "timed_steps",

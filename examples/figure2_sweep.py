@@ -7,9 +7,11 @@ SystemC-style models), and prints the reproduced figure next to the paper's
 numbers together with the qualitative "shape checks".
 
 A full sweep takes a few minutes; pass ``--quick`` to measure a
-representative subset only.
+representative subset only, or ``--bus-levels`` to measure the
+bus-abstraction ablation (every fabric of :mod:`repro.bus.transport` on a
+representative variant subset) instead of the engine-level figure.
 
-Run with:  python examples/figure2_sweep.py [--quick]
+Run with:  python examples/figure2_sweep.py [--quick] [--bus-levels]
 """
 
 import argparse
@@ -30,6 +32,9 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="measure a representative subset of variants")
+    parser.add_argument("--bus-levels", action="store_true",
+                        help="measure the bus-abstraction ablation "
+                             "(signal/transaction/functional fabrics)")
     parser.add_argument("--phases", type=int, default=3,
                         help="measurement windows per variant")
     parser.add_argument("--instructions", type=int, default=250,
@@ -42,6 +47,17 @@ def main() -> None:
         rtl_cycles_per_phase=800,
         boot_scale=0.4)
     experiment = Figure2Experiment(options)
+
+    if arguments.bus_levels:
+        subset = [variant for variant in QUICK_SUBSET
+                  if variant is not VariantName.RTL_HDL]
+        print(f"measuring {len(subset)} configurations on every bus "
+              f"fabric ...\n")
+        results = experiment.run_bus_level_comparison(subset)
+        report = build_report(results)
+        print(report.format_bus_level_table())
+        return
+
     variants = QUICK_SUBSET if arguments.quick else list(VariantName)
 
     print(f"measuring {len(variants)} configurations "

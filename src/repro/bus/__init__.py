@@ -1,4 +1,9 @@
-"""Bus models: the OPB (pin/cycle accurate) and the LMB (single cycle)."""
+"""Bus models: the OPB at three abstraction levels, and the LMB.
+
+The pin/cycle-accurate OPB machinery lives in :mod:`repro.bus.opb`; the
+bus-abstraction seam (one transport interface, three interchangeable
+fabrics) lives in :mod:`repro.bus.transport`.
+"""
 
 from .lmb import (BRAM_BASE_ADDRESS, BRAM_SIZE, LMB_ACCESS_CYCLES,
                   LocalMemoryBus)
@@ -6,11 +11,20 @@ from .opb import (DATA_MASTER, INSTRUCTION_MASTER, OpbArbiter, OpbMasterPort,
                   OpbSlave, snoop_bus_address)
 from .signals import (OpbBusSignals, OpbInterconnect, OpbMasterSignals,
                       coerce_bit, coerce_int, peek_int, read_bit, read_int)
+from .transport import (BUS_FUNCTIONAL, BUS_SIGNAL, BUS_TRANSACTION,
+                        BusTransport, FunctionalFabric, SignalFabric,
+                        TransactionFabric, bus_levels, create_fabric,
+                        protocol_transfer_cycles)
 
 __all__ = [
     "BRAM_BASE_ADDRESS",
     "BRAM_SIZE",
+    "BUS_FUNCTIONAL",
+    "BUS_SIGNAL",
+    "BUS_TRANSACTION",
+    "BusTransport",
     "DATA_MASTER",
+    "FunctionalFabric",
     "INSTRUCTION_MASTER",
     "LMB_ACCESS_CYCLES",
     "LocalMemoryBus",
@@ -20,9 +34,14 @@ __all__ = [
     "OpbMasterPort",
     "OpbMasterSignals",
     "OpbSlave",
+    "SignalFabric",
+    "TransactionFabric",
+    "bus_levels",
     "coerce_bit",
     "coerce_int",
+    "create_fabric",
     "peek_int",
+    "protocol_transfer_cycles",
     "read_bit",
     "read_int",
     "snoop_bus_address",

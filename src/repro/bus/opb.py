@@ -47,13 +47,18 @@ class OpbMasterPort:
     while the transfer is in flight.
     """
 
-    __slots__ = ("name", "signals", "bus", "transfer_count", "cycles_spent")
+    __slots__ = ("name", "signals", "bus", "master_id", "transfer_count",
+                 "cycles_spent")
 
     def __init__(self, name: str, signals: OpbMasterSignals,
-                 bus: OpbBusSignals) -> None:
+                 bus: OpbBusSignals, master_id: int = 0) -> None:
         self.name = name
         self.signals = signals
         self.bus = bus
+        #: Identifier quoted by timeout diagnostics (matches the value the
+        #: arbiter drives on ``bus.master_id`` while this master is
+        #: granted; the port itself never writes that signal).
+        self.master_id = master_id
         #: Completed transfers and total cycles spent, for statistics.
         self.transfer_count = 0
         self.cycles_spent = 0
@@ -77,9 +82,14 @@ class OpbMasterPort:
             yield None
             cycles += 1
             if cycles > _TRANSFER_TIMEOUT_CYCLES:
+                granted = read_bit(signals.grant)
+                acked = read_bit(self.bus.xfer_ack)
                 raise ModelError(
-                    f"OPB transfer from master {self.name!r} to "
-                    f"{address:#010x} timed out after {cycles} cycles")
+                    f"OPB {'write' if is_write else 'read'} timed out: "
+                    f"master {self.name!r} (id {self.master_id}), "
+                    f"address {address:#010x}, size {size}, "
+                    f"waited {cycles} cycles "
+                    f"(grant={int(granted)}, xfer_ack={int(acked)})")
             if read_bit(self.signals.grant) and read_bit(self.bus.xfer_ack):
                 break
         read_value = None
@@ -323,17 +333,30 @@ class OpbSlave(Module):
         self._countdown = None
         size = bin(byte_enable).count("1") or 4
         if rnw:
-            value = self.handle_access(address, None, size)
+            value = self.target_read(address, size)
             self.rdata_port.write(value)
         else:
             write_value = coerce_int(self.wdata_port.read())
-            self.handle_access(address, write_value, size)
+            self.target_write(address, write_value, size)
         self.ack_port.write(1)
         self._ack_asserted = True
         self._await_deselect = True
-        self.transactions += 1
 
-    # -- access hooks ---------------------------------------------------------------
+    # -- transport-agnostic access hooks ---------------------------------------------
+    # These are the callbacks every bus fabric routes to: the pin-accurate
+    # decode process above, and the transaction/functional fabrics of
+    # :mod:`repro.bus.transport` directly.  Protocol state (select, ack,
+    # countdown) stays out of them on purpose.
+    def target_read(self, address: int, size: int) -> int:
+        """Perform a read access on behalf of any fabric."""
+        self.transactions += 1
+        return self.handle_access(address, None, size)
+
+    def target_write(self, address: int, value: int, size: int) -> None:
+        """Perform a write access on behalf of any fabric."""
+        self.transactions += 1
+        self.handle_access(address, value, size)
+
     def handle_access(self, address: int, write_value: Optional[int],
                       size: int) -> int:
         """Perform the access; return read data (reads) or 0 (writes).

@@ -16,6 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from ..bus.transport import BUS_SIGNAL, bus_levels
 from ..kernel.engine import ENGINE_GENERIC, engine_kinds
 from ..platform import (VanillaNetPlatform, VariantName,
                         PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
@@ -60,6 +61,9 @@ class VariantResult:
     notes: list[str] = field(default_factory=list)
     #: Simulation engine the variant ran on (``"generic"``/``"clocked"``).
     engine: str = ENGINE_GENERIC
+    #: Bus abstraction level the variant ran on
+    #: (``"signal"``/``"transaction"``/``"functional"``).
+    bus_level: str = BUS_SIGNAL
     #: Kernel work counters accumulated over the whole measured run.
     kernel_counters: dict = field(default_factory=dict)
 
@@ -107,16 +111,23 @@ class Figure2Experiment:
 
     # -- individual variants -------------------------------------------------
     def measure_variant(self, variant: VariantName,
-                        engine: str = ENGINE_GENERIC) -> VariantResult:
-        """Measure one variant on one simulation engine."""
+                        engine: str = ENGINE_GENERIC,
+                        bus_level: str = BUS_SIGNAL) -> VariantResult:
+        """Measure one variant on one engine and one bus level.
+
+        The RTL HDL baseline has no OPB transport seam; it is always
+        measured at (and reported as) signal level.
+        """
         if variant is VariantName.RTL_HDL:
             return self._measure_rtl(engine)
-        return self._measure_systemc(variant, engine)
+        return self._measure_systemc(variant, engine, bus_level)
 
     def _measure_systemc(self, variant: VariantName,
-                         engine: str = ENGINE_GENERIC) -> VariantResult:
+                         engine: str = ENGINE_GENERIC,
+                         bus_level: str = BUS_SIGNAL) -> VariantResult:
         options = self.options
-        platform = VanillaNetPlatform(variant_config(variant, engine=engine))
+        platform = VanillaNetPlatform(variant_config(variant, engine=engine,
+                                                     bus_level=bus_level))
         program = build_boot_program(options.boot_params())
         platform.load_program(program)
         speed = AggregatedSpeed(variant.value)
@@ -151,6 +162,7 @@ class Figure2Experiment:
             memset_memcpy_fraction=fraction,
             interception_hits=stats.interception_hits,
             engine=engine,
+            bus_level=bus_level,
             kernel_counters=platform.sim.stats.as_dict(),
         )
 
@@ -210,3 +222,24 @@ class Figure2Experiment:
             engines = list(engine_kinds())
         return [self.measure_variant(variant, engine=engine)
                 for variant in variants for engine in engines]
+
+    def run_bus_level_comparison(
+            self, variants: Optional[Sequence[VariantName]] = None,
+            levels: Optional[Sequence[str]] = None,
+            engine: str = ENGINE_GENERIC) -> list[VariantResult]:
+        """Measure every requested variant on every requested bus level.
+
+        The bus-abstraction ablation: the same models, workloads and
+        measurement windows, differing only in the interconnect fabric
+        executing the OPB traffic.  The RTL HDL baseline is skipped (it has
+        no transport seam).
+        """
+        if variants is None:
+            variants = [variant for variant in VariantName
+                        if variant is not VariantName.RTL_HDL]
+        if levels is None:
+            levels = list(bus_levels())
+        return [self.measure_variant(variant, engine=engine,
+                                     bus_level=level)
+                for variant in variants for level in levels
+                if variant is not VariantName.RTL_HDL]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from ..bus.transport import BUS_FUNCTIONAL, BUS_SIGNAL
 from ..kernel.engine import ENGINE_CLOCKED, ENGINE_GENERIC
 from ..platform import VariantName
 from .experiment import VariantResult
@@ -31,38 +32,50 @@ class Figure2Report:
 
     # -- access helpers -------------------------------------------------------
     def result_for(self, variant: VariantName,
-                   engine: Optional[str] = None) -> VariantResult:
+                   engine: Optional[str] = None,
+                   bus_level: Optional[str] = None) -> VariantResult:
         """The result of one variant; raises ``KeyError`` when absent.
 
         Without ``engine`` the generic-engine row is preferred (the paper's
-        own figure is a generic-engine measurement), falling back to
-        whichever engine row is present.
+        own figure is a generic-engine measurement); without ``bus_level``
+        the signal-level row is preferred for the same reason.  When no
+        preferred row exists, whichever matching row is present is
+        returned.
         """
         fallback = None
         for result in self.results:
-            if result.variant is variant:
-                if engine is None:
-                    if result.engine == ENGINE_GENERIC:
-                        return result
-                    if fallback is None:
-                        fallback = result
-                elif result.engine == engine:
-                    return result
+            if result.variant is not variant:
+                continue
+            if engine is not None and result.engine != engine:
+                continue
+            if bus_level is not None and result.bus_level != bus_level:
+                continue
+            preferred = (engine is not None
+                         or result.engine == ENGINE_GENERIC) \
+                and (bus_level is not None
+                     or result.bus_level == BUS_SIGNAL)
+            if preferred:
+                return result
+            if fallback is None:
+                fallback = result
         if fallback is not None:
             return fallback
-        raise KeyError((variant, engine))
+        raise KeyError((variant, engine, bus_level))
 
     def has(self, variant: VariantName,
-            engine: Optional[str] = None) -> bool:
-        """True when the report contains the given variant (and engine)."""
+            engine: Optional[str] = None,
+            bus_level: Optional[str] = None) -> bool:
+        """True when the report contains the given variant row."""
         return any(result.variant is variant
                    and (engine is None or result.engine == engine)
+                   and (bus_level is None or result.bus_level == bus_level)
                    for result in self.results)
 
     def cps(self, variant: VariantName,
-            engine: Optional[str] = None) -> float:
+            engine: Optional[str] = None,
+            bus_level: Optional[str] = None) -> float:
         """Measured CPS (Hz) of a variant."""
-        return self.result_for(variant, engine).speed.mean_cps
+        return self.result_for(variant, engine, bus_level).speed.mean_cps
 
     # -- summary quantities (paper sections 4.6 / 5.5 / 7) ----------------------
     def speedup_over_rtl(self, variant: VariantName) -> float:
@@ -127,9 +140,16 @@ class Figure2Report:
         return self.cps(variant, engine) / base
 
     def engine_rows(self) -> list[dict]:
-        """Engine-ablation rows: one per (variant, engine) pair present."""
+        """Engine-ablation rows: one per (variant, engine) pair present.
+
+        Only signal-level rows qualify (bus-level ablation rows are
+        reported by :meth:`bus_level_rows`), so the engine comparison never
+        mixes bus abstractions.
+        """
         rows = []
         for result in self.results:
+            if result.bus_level != BUS_SIGNAL:
+                continue
             row = {
                 "variant": result.variant.value,
                 "engine": result.engine,
@@ -168,6 +188,75 @@ class Figure2Report:
             if self.has(result.variant, ENGINE_GENERIC):
                 best = max(best, self.engine_speedup(result.variant,
                                                      result.engine))
+        return best
+
+    # -- bus-level comparison (the bus-abstraction ablation) --------------------
+    def bus_levels_present(self) -> list[str]:
+        """Bus-level names appearing in the report, signal first."""
+        seen = []
+        for result in self.results:
+            if result.bus_level not in seen:
+                seen.append(result.bus_level)
+        seen.sort(key=lambda name: (name != BUS_SIGNAL, name))
+        return seen
+
+    def bus_level_speedup(self, variant: VariantName,
+                          bus_level: str = BUS_FUNCTIONAL,
+                          over: str = BUS_SIGNAL,
+                          engine: Optional[str] = None) -> float:
+        """CPS ratio of one bus level over another for the same variant."""
+        base = self.cps(variant, engine, over)
+        if base <= 0:
+            return float("inf")
+        return self.cps(variant, engine, bus_level) / base
+
+    def bus_level_rows(self) -> list[dict]:
+        """Bus-ablation rows: one per (variant, engine, bus level) present."""
+        rows = []
+        for result in self.results:
+            row = {
+                "variant": result.variant.value,
+                "engine": result.engine,
+                "bus_level": result.bus_level,
+                "measured_cps_khz": result.cps_khz,
+                "measured_cpi": result.cpi,
+                "processes": result.process_count,
+            }
+            if result.bus_level != BUS_SIGNAL \
+                    and self.has(result.variant, result.engine, BUS_SIGNAL):
+                row["speedup_over_signal"] = self.bus_level_speedup(
+                    result.variant, result.bus_level, BUS_SIGNAL,
+                    engine=result.engine)
+            rows.append(row)
+        return rows
+
+    def format_bus_level_table(self) -> str:
+        """Text table comparing bus levels per variant (empty when only
+        one level was measured)."""
+        if len(self.bus_levels_present()) < 2:
+            return ""
+        header = (f"{'configuration':<24} {'bus level':>12} {'CPS [kHz]':>10} "
+                  f"{'CPI':>6} {'procs':>6} {'vs signal':>10}")
+        lines = [header, "-" * len(header)]
+        for row in self.bus_level_rows():
+            speedup = row.get("speedup_over_signal")
+            speedup_text = f"{speedup:.2f}x" if speedup is not None else "-"
+            lines.append(f"{row['variant']:<24} {row['bus_level']:>12} "
+                         f"{row['measured_cps_khz']:>10.3f} "
+                         f"{row['measured_cpi']:>6.2f} "
+                         f"{row['processes']:>6} "
+                         f"{speedup_text:>10}")
+        return "\n".join(lines)
+
+    def best_bus_level_speedup(self, bus_level: str = BUS_FUNCTIONAL) -> float:
+        """The largest bus-level-over-signal CPS ratio in the report."""
+        best = 0.0
+        for result in self.results:
+            if result.bus_level != bus_level:
+                continue
+            if self.has(result.variant, result.engine, BUS_SIGNAL):
+                best = max(best, self.bus_level_speedup(
+                    result.variant, bus_level, engine=result.engine))
         return best
 
     # -- shape checks --------------------------------------------------------------
@@ -230,6 +319,7 @@ class Figure2Report:
             rows.append({
                 "variant": result.variant.value,
                 "engine": result.engine,
+                "bus_level": result.bus_level,
                 "label": result.label,
                 "measured_cps_khz": result.cps_khz,
                 "measured_effective_cps_khz": result.effective_cps_khz,

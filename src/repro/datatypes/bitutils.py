@@ -6,6 +6,8 @@ unsigned words (the "native data types" of the paper's section 4.2).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 WORD_BITS = 32
 WORD_MASK = 0xFFFF_FFFF
 HALF_MASK = 0xFFFF
@@ -90,15 +92,10 @@ def word_to_bytes(value: int, length: int = 4,
         length, "big" if big_endian else "little")
 
 
-def byte_lane_mask(address: int, size: int) -> int:
-    """OPB-style byte-enable mask for an access of ``size`` bytes.
-
-    Bit 3 corresponds to the most significant byte lane of a 32-bit word
-    (big-endian numbering, matching the MicroBlaze data bus).
-    """
+@lru_cache(maxsize=None)
+def _byte_lane_mask(offset: int, size: int) -> int:
     if size not in (1, 2, 4):
         raise ValueError(f"unsupported access size: {size}")
-    offset = address & 0x3
     if size == 4:
         if offset != 0:
             raise ValueError("word access must be word aligned")
@@ -108,6 +105,20 @@ def byte_lane_mask(address: int, size: int) -> int:
             raise ValueError("halfword access must be halfword aligned")
         return 0b1100 >> offset
     return 0b1000 >> offset
+
+
+def byte_lane_mask(address: int, size: int) -> int:
+    """OPB-style byte-enable mask for an access of ``size`` bytes.
+
+    Bit 3 corresponds to the most significant byte lane of a 32-bit word
+    (big-endian numbering, matching the MicroBlaze data bus).
+
+    Every data-side transfer computes this mask, on every fabric, so the
+    twelve possible (word offset, size) combinations are memoised;
+    misaligned accesses still raise ``ValueError`` on every call
+    (exceptions are not cached by ``lru_cache``).
+    """
+    return _byte_lane_mask(address & 0x3, size)
 
 
 def align_down(address: int, alignment: int) -> int:

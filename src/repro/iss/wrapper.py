@@ -19,6 +19,11 @@ Per instruction, the wrapper:
 
 Every routing decision can change between instructions, which is what makes
 the non-cycle-accurate optimisations run-time switchable.
+
+OPB traffic is issued through the :class:`~repro.bus.transport.BusTransport`
+seam: the wrapper never drives master signals itself, so the same wrapper
+runs unchanged on the pin-accurate signal fabric, the transaction-level
+fabric and the functional fabric.
 """
 
 from __future__ import annotations
@@ -26,7 +31,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
-from ..bus.opb import OpbMasterPort
+from ..bus.opb import DATA_MASTER, INSTRUCTION_MASTER
+from ..bus.transport import BusTransport
 from ..kernel.errors import ModelError
 from ..kernel.module import Module
 from ..kernel.engine import SimulationEngine
@@ -43,8 +49,7 @@ class MicroBlazeWrapper(Module):
     """Cycle-accurate MicroBlaze: ISS core plus bus interface processes."""
 
     def __init__(self, sim: SimulationEngine, name: str, clock,
-                 instruction_port: OpbMasterPort,
-                 data_port: OpbMasterPort,
+                 transport: BusTransport,
                  lmb: Optional[LocalMemoryBus] = None,
                  dispatcher: Optional[MemoryDispatcher] = None,
                  interceptor: Optional[KernelFunctionInterceptor] = None,
@@ -52,8 +57,7 @@ class MicroBlazeWrapper(Module):
                  reset_pc: int = 0) -> None:
         super().__init__(sim, name)
         self.clock = clock
-        self.instruction_port = instruction_port
-        self.data_port = data_port
+        self.transport = transport
         self.lmb = lmb
         self.dispatcher = dispatcher
         self.interceptor = interceptor
@@ -179,8 +183,8 @@ class MicroBlazeWrapper(Module):
             word, cycles = self.dispatcher.fetch(address)
             yield from self._consume_cycles(cycles)
             return word
-        word, cycles = yield from self.instruction_port.transfer(address,
-                                                                 None, 4)
+        word, cycles = yield from self.transport.read(INSTRUCTION_MASTER,
+                                                      address, 4)
         self._instruction_cycles += cycles
         if word is None:
             raise ModelError(f"instruction fetch from {address:#010x} "
@@ -197,8 +201,8 @@ class MicroBlazeWrapper(Module):
             value, cycles = self.dispatcher.read(address, size)
             yield from self._consume_cycles(cycles)
             return value
-        value, cycles = yield from self.data_port.transfer(address, None,
-                                                           size)
+        value, cycles = yield from self.transport.read(DATA_MASTER, address,
+                                                       size)
         self._instruction_cycles += cycles
         return value
 
@@ -212,7 +216,8 @@ class MicroBlazeWrapper(Module):
             cycles = self.dispatcher.write(address, value, size)
             yield from self._consume_cycles(cycles)
             return
-        __, cycles = yield from self.data_port.transfer(address, value, size)
+        cycles = yield from self.transport.write(DATA_MASTER, address, value,
+                                                 size)
         self._instruction_cycles += cycles
 
     def _consume_cycles(self, cycles: int):

@@ -19,8 +19,6 @@ offset name  behaviour
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..kernel.engine import SimulationEngine

@@ -21,8 +21,6 @@ paper's section 4.5 optimisations target.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..datatypes import WORD_MASK

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from ..bus.transport import BUS_SIGNAL, bus_levels
 from ..kernel.engine import ENGINE_GENERIC
 from ..kernel.simtime import SimTime
 from ..signals import DataMode
@@ -139,6 +140,14 @@ class ModelConfig:
     #: to every modelling-style knob above: any variant runs on either
     #: engine with identical architectural results.
     engine: str = ENGINE_GENERIC
+    #: Bus abstraction level executing OPB transfers: ``"signal"`` (the
+    #: pin/cycle-accurate protocol), ``"transaction"`` (arithmetic
+    #: arbitration + latency, TLM style) or ``"functional"`` (no
+    #: interconnect model, direct-memory-interface fast path).  Like
+    #: ``engine`` this is orthogonal to the modelling-style knobs: every
+    #: variant runs on every fabric with identical architectural results
+    #: (see :mod:`repro.bus.transport`).
+    bus_level: str = BUS_SIGNAL
 
     @property
     def is_cycle_accurate(self) -> bool:
@@ -176,24 +185,31 @@ class ModelConfig:
             options.append("memset/memcpy capture")
         if self.engine != ENGINE_GENERIC:
             options.append(f"{self.engine} engine")
+        if self.bus_level != BUS_SIGNAL:
+            options.append(f"{self.bus_level} bus")
         return f"{self.name}: " + ", ".join(options)
 
 
 def variant_config(variant: VariantName,
-                   engine: str = ENGINE_GENERIC) -> ModelConfig:
+                   engine: str = ENGINE_GENERIC,
+                   bus_level: str = BUS_SIGNAL) -> ModelConfig:
     """The :class:`ModelConfig` for a Figure 2 bar.
 
     Optimisations accumulate from left to right across the figure, exactly
     as in the paper (each bar adds one technique to the previous bar).
-    ``engine`` selects the simulation engine the variant runs on without
-    changing the model itself.  ``VariantName.RTL_HDL`` has no
-    ``ModelConfig``; it is built by :mod:`repro.rtl` (which takes the same
-    ``engine`` selector directly).
+    ``engine`` selects the simulation engine and ``bus_level`` the
+    interconnect fabric the variant runs on, without changing the model
+    itself.  ``VariantName.RTL_HDL`` has no ``ModelConfig``; it is built by
+    :mod:`repro.rtl` (which takes the same ``engine`` selector directly).
     """
     if variant is VariantName.RTL_HDL:
         raise ValueError("the RTL HDL baseline is built by repro.rtl, "
                          "not from a ModelConfig")
-    config = ModelConfig(name=variant.value, engine=engine)
+    if bus_level not in bus_levels():
+        raise ValueError(f"unknown bus level {bus_level!r}; "
+                         f"expected one of {sorted(bus_levels())}")
+    config = ModelConfig(name=variant.value, engine=engine,
+                         bus_level=bus_level)
     if variant is VariantName.INITIAL_TRACE:
         return config.with_updates(trace_enabled=True)
     if variant is VariantName.INITIAL:

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..bus import (LocalMemoryBus, OpbArbiter, OpbInterconnect,
-                   OpbMasterPort)
+from ..bus import (BUS_SIGNAL, DATA_MASTER, INSTRUCTION_MASTER,
+                   LocalMemoryBus, OpbArbiter, OpbInterconnect,
+                   OpbMasterPort, SignalFabric, create_fabric)
 from ..isa.assembler import Program
 from ..iss import KernelFunctionInterceptor, MicroBlazeWrapper
 from ..kernel import Module, SimulationEngine, create_engine
@@ -47,6 +48,11 @@ class VanillaNetPlatform:
         sim = self.sim
         self.clock = Clock(sim, "sys_clk", config.clock_period)
         self.interconnect = OpbInterconnect.create(sim, config.data_mode)
+        # On the signal-level fabric every slave runs its pin-accurate
+        # decode process; the transaction/functional fabrics route accesses
+        # to the slaves' target hooks arithmetically, so no decode process
+        # (and no arbiter) is registered at all.
+        signal_level = config.bus_level == BUS_SIGNAL
 
         # -- memories --------------------------------------------------------
         self.bram = MemoryStorage("bram", mm.BRAM_BASE, mm.BRAM_SIZE)
@@ -54,6 +60,7 @@ class VanillaNetPlatform:
         slave_options = dict(
             use_method=True,
             reduced_port_reading=config.reduced_port_reading,
+            register_process=signal_level,
         )
         self.sdram = SdramController(sim, "sdram", mm.SDRAM_BASE,
                                      mm.SDRAM_SIZE, self.interconnect,
@@ -83,12 +90,14 @@ class VanillaNetPlatform:
                               use_method=config.use_methods,
                               count_process=not config.combined_processes,
                               reduced_port_reading=
-                              config.reduced_port_reading)
+                              config.reduced_port_reading,
+                              register_process=signal_level)
         self.intc = InterruptController(
             sim, "intc", mm.INTC_BASE, self.interconnect, self.clock,
             use_method=config.use_methods,
             poll_process=not config.combined_processes,
-            reduced_port_reading=config.reduced_port_reading)
+            reduced_port_reading=config.reduced_port_reading,
+            register_process=signal_level)
         self.gpio = Gpio(sim, "gpio", mm.GPIO_BASE, self.interconnect,
                          self.clock, gated=config.gate_rare_peripherals,
                          **slave_options)
@@ -97,16 +106,20 @@ class VanillaNetPlatform:
             gated=config.gate_rare_peripherals, **slave_options)
 
         # -- bus ----------------------------------------------------------------
-        self.arbiter = OpbArbiter(
-            sim, "opb_arbiter", self.interconnect, self.clock,
-            use_method=config.use_methods,
-            gate_rare_slaves=config.gate_rare_peripherals,
-            register_process=not config.combined_processes)
-        if config.gate_rare_peripherals:
-            for slave in (self.flash, self.gpio, self.ethernet):
-                self.arbiter.register_gated_slave(slave.base_address,
-                                                  slave.size,
-                                                  slave.wake_event)
+        # The arbiter exists only at signal level; the other fabrics
+        # compute arbitration arithmetically inside the transport.
+        self.arbiter: Optional[OpbArbiter] = None
+        if signal_level:
+            self.arbiter = OpbArbiter(
+                sim, "opb_arbiter", self.interconnect, self.clock,
+                use_method=config.use_methods,
+                gate_rare_slaves=config.gate_rare_peripherals,
+                register_process=not config.combined_processes)
+            if config.gate_rare_peripherals:
+                for slave in (self.flash, self.gpio, self.ethernet):
+                    self.arbiter.register_gated_slave(slave.base_address,
+                                                      slave.size,
+                                                      slave.wake_event)
 
         # -- interrupt wiring ------------------------------------------------------
         self.intc.connect_input(mm.IRQ_TIMER, self.timer.interrupt)
@@ -136,16 +149,31 @@ class VanillaNetPlatform:
         self.interceptor = KernelFunctionInterceptor(
             self.memory_map, enabled=config.kernel_function_capture)
 
+        # -- the bus fabric ----------------------------------------------------------------
+        self.instruction_port: Optional[OpbMasterPort] = None
+        self.data_port: Optional[OpbMasterPort] = None
+        if signal_level:
+            self.instruction_port = OpbMasterPort(
+                "imaster", self.interconnect.instruction_master,
+                self.interconnect.bus, master_id=INSTRUCTION_MASTER)
+            self.data_port = OpbMasterPort(
+                "dmaster", self.interconnect.data_master,
+                self.interconnect.bus, master_id=DATA_MASTER)
+            self.bus_fabric = SignalFabric(self.instruction_port,
+                                           self.data_port,
+                                           arbiter=self.arbiter)
+        else:
+            self.bus_fabric = create_fabric(config.bus_level,
+                                            clock=self.clock)
+        for slave in (self.sdram, self.sram, self.flash, self.console_uart,
+                      self.debug_uart, self.timer, self.intc, self.gpio,
+                      self.ethernet):
+            self.bus_fabric.register_slave(slave)
+
         # -- the processor -----------------------------------------------------------------
-        self.instruction_port = OpbMasterPort(
-            "imaster", self.interconnect.instruction_master,
-            self.interconnect.bus)
-        self.data_port = OpbMasterPort(
-            "dmaster", self.interconnect.data_master, self.interconnect.bus)
         self.microblaze = MicroBlazeWrapper(
             sim, "microblaze", self.clock,
-            instruction_port=self.instruction_port,
-            data_port=self.data_port,
+            transport=self.bus_fabric,
             lmb=self.lmb,
             dispatcher=self.dispatcher,
             interceptor=self.interceptor,
@@ -280,11 +308,13 @@ class _CombinedSynchronousLogic(Module):
     plain function calls from a single method process instead of three
     separately scheduled processes.  The call order is chosen so behaviour
     is identical to the separate-process version regardless of signal data
-    mode (the paper's Listing 2 discussion).
+    mode (the paper's Listing 2 discussion).  On the transaction/functional
+    bus fabrics there is no arbiter (arbitration is computed inside the
+    transport), so only the timer and interrupt-controller work remains.
     """
 
     def __init__(self, sim: SimulationEngine, name: str, clock, timer,
-                 intc, arbiter) -> None:
+                 intc, arbiter=None) -> None:
         super().__init__(sim, name)
         self.timer = timer
         self.intc = intc
@@ -296,4 +326,5 @@ class _CombinedSynchronousLogic(Module):
     def _combined_tick(self) -> None:
         self.timer._count()
         self.intc._poll_inputs()
-        self.arbiter._arbitrate()
+        if self.arbiter is not None:
+            self.arbiter._arbitrate()

@@ -12,8 +12,6 @@ simulated Clock cycles Per Second (CPS).
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..kernel.engine import SimulationEngine
 from ..kernel.events import Event
 from ..kernel.simtime import SimTime, _as_ps

@@ -1,0 +1,276 @@
+"""Bus-abstraction-layer tests: the transport seam and its three fabrics.
+
+The accuracy contract of :mod:`repro.bus.transport`: every Figure 2 variant
+produces *identical* architectural results -- instructions retired, console
+output, final register state, and (because the fast fabrics keep the
+protocol's cycle annotation) even cycle counts -- on the signal,
+transaction and functional fabrics.  Plus unit tests for fabric routing,
+DMI resolution, decode errors and the enriched master-port timeout
+diagnostics.
+"""
+
+import pytest
+
+from repro.bus import (BUS_FUNCTIONAL, BUS_SIGNAL, BUS_TRANSACTION,
+                       BusTransport, DATA_MASTER, FunctionalFabric,
+                       INSTRUCTION_MASTER, OpbInterconnect, OpbMasterPort,
+                       SignalFabric, TransactionFabric, bus_levels,
+                       create_fabric, protocol_transfer_cycles)
+from repro.kernel import ENGINE_CLOCKED, ENGINE_GENERIC, SimTime, Simulator
+from repro.kernel.errors import ModelError
+from repro.platform import (VanillaNetPlatform, VariantName,
+                            all_systemc_variants, variant_config)
+from repro.signals import Clock, DataMode
+from repro.software import BootParams, build_boot_program, hello_program
+
+SMALL_BOOT = BootParams(bss_bytes=32, kernel_copy_bytes=48,
+                        page_clear_bytes=16, page_clear_count=1,
+                        rootfs_copy_bytes=16, checksum_words=4,
+                        progress_dots=1, timer_ticks=1,
+                        timer_period_cycles=300, device_probe_rounds=1)
+
+FAST_LEVELS = [BUS_TRANSACTION, BUS_FUNCTIONAL]
+
+
+def boot_platform(variant: VariantName, bus_level: str,
+                  engine: str = ENGINE_GENERIC) -> VanillaNetPlatform:
+    platform = VanillaNetPlatform(
+        variant_config(variant, engine=engine, bus_level=bus_level))
+    platform.load_program(build_boot_program(SMALL_BOOT))
+    return platform
+
+
+def run_to_halt(platform: VanillaNetPlatform) -> dict:
+    finished = platform.run_until_halt(max_cycles=900_000,
+                                       chunk_cycles=2_000)
+    return {
+        "finished": finished,
+        "instructions": platform.statistics.instructions_retired,
+        "cycles": platform.statistics.cycles,
+        "sim_cycles": platform.cycle_count,
+        "console": platform.console_output,
+        "registers": platform.architectural_state(),
+    }
+
+
+class TestFabricFactory:
+    def test_levels_enumerated_signal_first(self):
+        assert bus_levels()[0] == BUS_SIGNAL
+        assert set(bus_levels()) == {BUS_SIGNAL, BUS_TRANSACTION,
+                                     BUS_FUNCTIONAL}
+
+    def test_create_transaction_and_functional(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        transaction = create_fabric(BUS_TRANSACTION, clock=clock)
+        functional = create_fabric(BUS_FUNCTIONAL, clock=clock)
+        assert isinstance(transaction, TransactionFabric)
+        assert isinstance(functional, FunctionalFabric)
+        assert isinstance(functional, BusTransport)
+        assert transaction.kind == BUS_TRANSACTION
+        assert functional.kind == BUS_FUNCTIONAL
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ModelError):
+            create_fabric("quantum")
+
+    def test_variant_config_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            variant_config(VariantName.INITIAL, bus_level="quantum")
+
+    def test_config_selects_fabric(self):
+        for level, fabric_class in ((BUS_SIGNAL, SignalFabric),
+                                    (BUS_TRANSACTION, TransactionFabric),
+                                    (BUS_FUNCTIONAL, FunctionalFabric)):
+            config = variant_config(VariantName.NATIVE_TYPES,
+                                    bus_level=level)
+            platform = VanillaNetPlatform(config)
+            assert isinstance(platform.bus_fabric, fabric_class)
+        assert "functional bus" in variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_FUNCTIONAL).describe()
+
+    def test_protocol_cycle_annotation(self):
+        # request->grant (1) + slave latency + ack->master (1).
+        assert protocol_transfer_cycles(1) == 3
+        assert protocol_transfer_cycles(2) == 4
+        # A gated slave acknowledges in the grant cycle itself.
+        assert protocol_transfer_cycles(1, gated=True) == 2
+
+
+class TestFabricStructure:
+    def test_fast_fabrics_have_no_bus_processes(self):
+        signal = VanillaNetPlatform(variant_config(VariantName.NATIVE_TYPES))
+        transaction = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_TRANSACTION))
+        # 9 slave decode processes + the arbiter disappear.
+        assert signal.process_count() - transaction.process_count() == 10
+        assert transaction.arbiter is None
+        assert transaction.instruction_port is None
+
+    def test_signal_fabric_keeps_arbiter_and_ports(self):
+        platform = VanillaNetPlatform(variant_config(VariantName.NATIVE_TYPES))
+        assert isinstance(platform.bus_fabric, SignalFabric)
+        assert platform.bus_fabric.arbiter is platform.arbiter
+        assert platform.instruction_port.master_id == INSTRUCTION_MASTER
+        assert platform.data_port.master_id == DATA_MASTER
+
+    def test_all_slaves_registered(self):
+        for level in bus_levels():
+            platform = VanillaNetPlatform(variant_config(
+                VariantName.NATIVE_TYPES, bus_level=level))
+            assert len(platform.bus_fabric.slaves) == 9
+
+    def test_functional_dmi_covers_memory_slaves(self):
+        platform = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_FUNCTIONAL))
+        fabric = platform.bus_fabric
+        for slave in (platform.sdram, platform.sram, platform.flash):
+            storage, owner = fabric.dmi_region(slave.base_address)
+            assert storage is slave.storage
+            assert owner is slave
+        storage, owner = fabric.dmi_region(platform.timer.base_address)
+        assert storage is None and owner is None
+
+
+class TestTransactionFabricRouting:
+    def make_fabric(self):
+        platform = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_TRANSACTION))
+        return platform, platform.bus_fabric
+
+    def test_unmapped_address_raises(self):
+        platform, fabric = self.make_fabric()
+        transfer = fabric.read(DATA_MASTER, 0xDEAD_0000, 4)
+        with pytest.raises(ModelError, match="no slave claims"):
+            next(transfer)
+
+    def test_misaligned_access_raises(self):
+        platform, fabric = self.make_fabric()
+        with pytest.raises(ValueError):
+            next(fabric.read(DATA_MASTER, platform.sram.base_address + 1, 4))
+
+    def test_hello_program_counts_transactions(self):
+        platform = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_TRANSACTION))
+        platform.load_program(hello_program("abc"))
+        assert platform.run_until_halt(max_cycles=400_000)
+        assert "abc" in platform.console_output
+        fabric = platform.bus_fabric
+        assert fabric.transactions_granted > 0
+        assert fabric.transfer_count == fabric.transactions_granted
+        assert fabric.per_master_transactions[DATA_MASTER] > 0
+        assert platform.console_uart.transactions > 0
+
+    def test_functional_dmi_and_target_split(self):
+        platform = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_FUNCTIONAL))
+        platform.load_program(build_boot_program(SMALL_BOOT))
+        assert platform.run_until_halt(max_cycles=900_000)
+        fabric = platform.bus_fabric
+        # Instruction fetches from SDRAM take the DMI path; UART/INTC/timer
+        # traffic goes through the slaves' target hooks.
+        assert fabric.dmi_hits > fabric.target_accesses > 0
+
+
+class TestCrossFabricIdentity:
+    """The tentpole accuracy contract, on every Figure 2 variant."""
+
+    @pytest.fixture(scope="class")
+    def fabric_runs(self):
+        runs = {}
+        for variant in all_systemc_variants():
+            for level in bus_levels():
+                runs[variant, level] = run_to_halt(
+                    boot_platform(variant, level))
+        return runs
+
+    @pytest.mark.parametrize("level", FAST_LEVELS)
+    def test_all_variants_finish(self, fabric_runs, level):
+        for variant in all_systemc_variants():
+            assert fabric_runs[variant, level]["finished"], \
+                f"{variant.value} on {level} did not reach _halt"
+
+    @pytest.mark.parametrize("aspect", ["instructions", "console",
+                                        "registers"])
+    @pytest.mark.parametrize("level", FAST_LEVELS)
+    def test_architectural_identity(self, fabric_runs, level, aspect):
+        for variant in all_systemc_variants():
+            reference = fabric_runs[variant, BUS_SIGNAL][aspect]
+            measured = fabric_runs[variant, level][aspect]
+            assert measured == reference, \
+                f"{variant.value}: {aspect} differs on the {level} fabric"
+
+    @pytest.mark.parametrize("level", FAST_LEVELS)
+    def test_cycle_annotation_identity(self, fabric_runs, level):
+        """The fast fabrics charge exactly the protocol's cycles, so even
+        the cycle counts match the pin-accurate fabric."""
+        for variant in all_systemc_variants():
+            reference = fabric_runs[variant, BUS_SIGNAL]
+            measured = fabric_runs[variant, level]
+            assert measured["cycles"] == reference["cycles"], variant.value
+            assert measured["sim_cycles"] == reference["sim_cycles"], \
+                variant.value
+
+    def test_identity_holds_on_clocked_engine(self):
+        """Spot-check that fabric identity is engine-independent."""
+        results = {}
+        for level in bus_levels():
+            platform = boot_platform(VariantName.REDUCED_SCHEDULING_2,
+                                     level, engine=ENGINE_CLOCKED)
+            results[level] = run_to_halt(platform)
+        assert results[BUS_SIGNAL] == results[BUS_TRANSACTION]
+        assert results[BUS_SIGNAL] == results[BUS_FUNCTIONAL]
+
+
+class TestRuntimeTogglesOnFastFabrics:
+    @pytest.mark.parametrize("level", FAST_LEVELS)
+    def test_dispatcher_toggle_mid_run(self, level):
+        platform = boot_platform(VariantName.NATIVE_TYPES, level)
+        platform.run_cycles(500)
+        platform.set_instruction_memory_suppression(True)
+        platform.set_main_memory_suppression(True)
+        assert platform.run_until_halt(max_cycles=900_000)
+        assert platform.dispatcher.instruction_fetches > 0
+        assert platform.sdram.detached
+        assert "boot complete" in platform.console_output
+
+
+class TestTargetHooks:
+    def test_target_hooks_count_transactions(self):
+        platform = VanillaNetPlatform(variant_config(
+            VariantName.NATIVE_TYPES, bus_level=BUS_TRANSACTION))
+        before = platform.gpio.transactions
+        platform.gpio.target_write(platform.gpio.base_address, 0, 4)
+        value = platform.gpio.target_read(platform.gpio.base_address + 4, 4)
+        assert platform.gpio.transactions == before + 2
+        assert value == platform.gpio.tristate
+
+
+class TestMasterPortTimeoutDiagnostics:
+    """Satellite: the transfer timeout must identify the master, the
+    address and the cycles waited."""
+
+    def test_timeout_message_has_full_context(self):
+        sim = Simulator()
+        clock = Clock(sim, "clk", SimTime.ns(10))
+        interconnect = OpbInterconnect.create(sim, DataMode.NATIVE)
+        port = OpbMasterPort("imaster", interconnect.instruction_master,
+                             interconnect.bus, master_id=INSTRUCTION_MASTER)
+        failure = {}
+
+        def master():
+            try:
+                yield from port.transfer(0xDEAD_BEE0, None, 4)
+            except ModelError as error:
+                failure["message"] = str(error)
+
+        sim.spawn_thread("master", master,
+                         sensitive=[clock.posedge_event()])
+        # No arbiter, no slave: the transfer can never be acknowledged.
+        sim.run(SimTime.ns(10) * 1100)
+        message = failure["message"]
+        assert "imaster" in message
+        assert f"id {INSTRUCTION_MASTER}" in message
+        assert "0xdeadbee0" in message
+        assert "1025 cycles" in message
+        assert "grant=0" in message and "xfer_ack=0" in message

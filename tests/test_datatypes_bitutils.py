@@ -112,6 +112,31 @@ class TestByteLanes:
         with pytest.raises(ValueError):
             byte_lane_mask(0x101, 4)
 
+    def test_memoised_results_identical(self):
+        """Satellite: the mask is memoised (it is computed on every
+        data-side transfer); cache hits must not change results."""
+        from repro.datatypes.bitutils import _byte_lane_mask
+        _byte_lane_mask.cache_clear()
+        cold = {(address, size): byte_lane_mask(address, size)
+                for size in (1, 2, 4)
+                for address in range(0x200, 0x208)
+                if not (size == 4 and address % 4)
+                and not (size == 2 and address % 2)}
+        hits_before = _byte_lane_mask.cache_info().hits
+        warm = {key: byte_lane_mask(*key) for key in cold}
+        assert warm == cold
+        # Every warm call was served from the cache (offsets repeat, so the
+        # cold pass already hit for the duplicated offsets).
+        assert _byte_lane_mask.cache_info().hits \
+            >= hits_before + len(cold)
+
+    def test_memoised_errors_still_raised_every_time(self):
+        for __ in range(2):
+            with pytest.raises(ValueError):
+                byte_lane_mask(0x101, 4)
+            with pytest.raises(ValueError):
+                byte_lane_mask(0x100, 3)
+
     def test_misaligned_halfword_rejected(self):
         with pytest.raises(ValueError):
             byte_lane_mask(0x101, 2)

@@ -3,9 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.isa import (Assembler, DecodeCache, SymbolTable, assemble, decode,
+from repro.isa import (DecodeCache, SymbolTable, assemble, decode,
                        disassemble_word, encoding as enc)
-from repro.isa.decoder import Instruction
 from repro.kernel.errors import AssemblerError, DecodeError
 
 

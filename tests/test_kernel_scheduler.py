@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import (Event, KernelError, MethodProcess, Module, SimTime,
+from repro.kernel import (KernelError, MethodProcess, Module, SimTime,
                           Simulator, ThreadProcess)
 from repro.signals import Clock, Signal
 

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.kernel import SimTime, Simulator
 from repro.kernel.errors import AddressError, AlignmentError
 from repro.peripherals import (ConsoleSink, MemoryDispatcher, MemoryMap,
                                MemoryStorage)

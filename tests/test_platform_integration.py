@@ -1,7 +1,5 @@
 """Integration tests: programs running on the full VanillaNet platform."""
 
-import pytest
-
 from repro.platform import (ModelConfig, VanillaNetPlatform, VariantName,
                             variant_config)
 from repro.signals import DataMode

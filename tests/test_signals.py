@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datatypes import Logic, LogicVector
+from repro.datatypes import LogicVector
 from repro.kernel import MultipleDriverError, SimTime, Simulator
 from repro.kernel.errors import BindingError
 from repro.signals import (CachingInPort, Clock, DataMode, Fifo, InOutPort,

@@ -122,7 +122,6 @@ class TestFunctionalBoot:
         assert "boot complete" in text
 
     def test_memory_phases_took_effect(self, booted):
-        from repro.software.bootgen import KERNEL_DEST_ADDRESS
         # The kernel-copy destination was written (copied zeros from FLASH,
         # but the write counters prove the copy happened).
         sdram = booted.memory.region_named("sdram")
