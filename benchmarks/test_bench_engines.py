@@ -33,6 +33,16 @@ from repro.platform import VariantName
 #: pessimisation.
 SPEEDUP_FLOOR = 1.0 if os.environ.get("CI") else 1.25
 
+#: Every measured variant -- not just the best -- must at least reach
+#: parity.  This pins the fix for a past anomaly where the gated-slave
+#: off-edge re-arms of ``reduced_scheduling_2`` defeated the bulk edge
+#: skip and left the clocked engine *slower* (0.87x) than the generic
+#: kernel on that one variant while the others read 1.05-1.38x.  Local
+#: measurements now put all three variants in one family (~1.15-1.3x);
+#: the floor sits below that band to absorb host noise but above the
+#: anomaly it guards against.
+PARITY_FLOOR = 0.8 if os.environ.get("CI") else 0.95
+
 #: Variants measured for the engine ratio: the paper's big cycle-accurate
 #: win (native data types) plus the two fastest non-cycle-accurate bars.
 RATIO_VARIANTS = [
@@ -83,7 +93,8 @@ def test_clocked_engine_speedup(benchmark):
 
     speedups = benchmark.pedantic(measure, rounds=1, iterations=1,
                                   warmup_rounds=0)
-    if max(speedups.values()) < SPEEDUP_FLOOR:
+    if max(speedups.values()) < SPEEDUP_FLOOR \
+            or min(speedups.values()) < PARITY_FLOOR:
         # One transient burst of host load (GC from earlier tests, a noisy
         # neighbour) can depress a single measurement; re-measure once and
         # keep the better reading per variant before declaring a miss.
@@ -97,6 +108,12 @@ def test_clocked_engine_speedup(benchmark):
     # The tentpole claim: >= 1.3x on at least one variant (relaxed on CI).
     assert best_ratio >= SPEEDUP_FLOOR, \
         f"best clocked speedup only {best_ratio:.2f}x"
+    # The parity claim: the fast path must never *lose* to the generic
+    # kernel on any measured variant (the reduced_scheduling_2 anomaly).
+    for name, ratio in speedups.items():
+        assert ratio >= PARITY_FLOOR, \
+            f"clocked engine below parity on {name}: {ratio:.2f}x " \
+            f"(floor {PARITY_FLOOR}x)"
 
 
 def test_clocked_engine_kernel_work_reduction(benchmark):

@@ -19,6 +19,7 @@ from conftest import (BENCH_FIG2_PATH, BENCH_FIG2_SCHEMA, load_fig2_results,
                       record_fig2_results)
 from repro.bus import BUS_SIGNAL, bus_levels
 from repro.core import ExperimentOptions, Figure2Experiment, build_report
+from repro.iss import CPU_CYCLE, cpu_levels
 from repro.kernel import engine_kinds
 from repro.platform import VanillaNetPlatform, VariantName, variant_config
 from repro.software import build_boot_program
@@ -157,10 +158,11 @@ def test_bench_fig2_json_schema_complete():
 
     Runs after the matrix benchmark above (pytest executes tests in file
     order), so a full benchmark run always leaves a complete document.
-    Entries are keyed ``variant/engine/bus_level``; the engine matrix
-    fills the signal-level plane, and the bus-level benchmark
-    (test_bench_bus_levels.py) adds transaction/functional rows for its
-    measured subset.
+    Entries are keyed ``variant/engine/bus_level/cpu_level``; the engine
+    matrix fills the signal-level per-cycle plane, the bus-level
+    benchmark (test_bench_bus_levels.py) adds transaction/functional
+    rows and the CPU-level benchmark (test_bench_cpu_levels.py) adds
+    quantum rows for their measured subsets.
     """
     assert BENCH_FIG2_PATH.exists(), \
         "BENCH_fig2.json missing; run the fig2 benchmarks first"
@@ -170,16 +172,18 @@ def test_bench_fig2_json_schema_complete():
     missing = []
     for variant in VariantName:
         for engine in engine_kinds():
-            key = f"{variant.value}/{engine}/{BUS_SIGNAL}"
+            key = f"{variant.value}/{engine}/{BUS_SIGNAL}/{CPU_CYCLE}"
             if key not in entries:
                 missing.append(key)
     assert not missing, f"BENCH_fig2.json lacks entries: {missing}"
     for key, entry in entries.items():
-        assert set(entry) >= {"variant", "engine", "bus_level", "cps_khz",
-                              "counters"}, \
+        assert set(entry) >= {"variant", "engine", "bus_level", "cpu_level",
+                              "cps_khz", "counters"}, \
             f"entry {key} incomplete: {sorted(entry)}"
         assert entry["bus_level"] in bus_levels(), \
             f"entry {key} has unknown bus level {entry['bus_level']!r}"
+        assert entry["cpu_level"] in cpu_levels(), \
+            f"entry {key} has unknown cpu level {entry['cpu_level']!r}"
         assert entry["cps_khz"] > 0, f"entry {key} has non-positive CPS"
         assert set(entry["counters"]) >= {
             "process_activations", "delta_cycles", "timed_steps",

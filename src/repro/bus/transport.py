@@ -147,6 +147,28 @@ class BusTransport:
         """Write ``size`` bytes; returns the cycle cost."""
         raise NotImplementedError
 
+    # -- zero-time direct access (the temporal-decoupling seam) ---------------
+    def direct_read(self, master_id: int, address: int, size: int = 4):
+        """Serve a read *without consuming simulated time*, if possible.
+
+        Returns ``(value, cycles)`` when the fabric can complete the access
+        with no side effect other than the backing store's, or ``None``
+        when the access needs the timed transfer path (cycle-varying
+        peripheral state, pin-level protocol).  Only the functional
+        fabric's DMI regions qualify; the quantum-mode ISS wrapper breaks
+        its time quantum whenever this returns ``None``.
+        """
+        return None
+
+    def direct_write(self, master_id: int, address: int, value: int,
+                     size: int = 4):
+        """Zero-time counterpart of :meth:`direct_read` for writes.
+
+        Returns the cycle annotation, or ``None`` when the access must go
+        through the timed transfer path.
+        """
+        return None
+
     # -- statistics -----------------------------------------------------------
     def _account(self, master_id: int, cycles: int) -> None:
         self.transfer_count += 1
@@ -354,6 +376,36 @@ class FunctionalFabric(TransactionFabric):
         cycles = protocol_transfer_cycles(slave.latency, slave.gated)
         yield self.clock.period_ps * cycles
         yield None
+        self._account(master_id, cycles)
+        return cycles
+
+    # -- zero-time direct access ----------------------------------------------
+    def direct_read(self, master_id: int, address: int, size: int = 4):
+        """DMI read with the identical grant/account/cycle bookkeeping as
+        :meth:`read`, but no kernel interaction; None outside DMI."""
+        byte_lane_mask(address, size)
+        storage, slave = self.dmi_region(address)
+        if storage is None:
+            return None
+        self._grant(master_id)
+        value = storage.read(address, size)
+        self.dmi_hits += 1
+        cycles = protocol_transfer_cycles(slave.latency, slave.gated)
+        self._account(master_id, cycles)
+        return value, cycles
+
+    def direct_write(self, master_id: int, address: int, value: int,
+                     size: int = 4):
+        """DMI write counterpart of :meth:`direct_read`; None outside DMI."""
+        byte_lane_mask(address, size)
+        storage, slave = self.dmi_region(address)
+        if storage is None:
+            return None
+        self._grant(master_id)
+        if not storage.read_only:
+            storage.write(address, value, size)
+        self.dmi_hits += 1
+        cycles = protocol_transfer_cycles(slave.latency, slave.gated)
         self._account(master_id, cycles)
         return cycles
 

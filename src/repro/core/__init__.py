@@ -5,11 +5,14 @@ from .figure2 import Figure2Report, build_report
 from .metrics import (AggregatedSpeed, REFERENCE_BOOT_INSTRUCTIONS,
                       SpeedMeasurement, cycles_per_second, format_duration,
                       speedup, to_khz)
-from .registry import (TECHNIQUES, Technique, cycle_accurate_techniques,
-                       runtime_toggleable_techniques, technique_for)
+from .registry import (EXECUTION_SEAMS, ExecutionSeam, TECHNIQUES, Technique,
+                       cycle_accurate_techniques,
+                       runtime_toggleable_techniques, seam_for, technique_for)
 
 __all__ = [
     "AggregatedSpeed",
+    "EXECUTION_SEAMS",
+    "ExecutionSeam",
     "ExperimentOptions",
     "Figure2Experiment",
     "Figure2Report",
@@ -23,6 +26,7 @@ __all__ = [
     "cycles_per_second",
     "format_duration",
     "runtime_toggleable_techniques",
+    "seam_for",
     "speedup",
     "technique_for",
     "to_khz",

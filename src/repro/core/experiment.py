@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..bus.transport import BUS_SIGNAL, bus_levels
+from ..iss.wrapper import CPU_CYCLE, cpu_levels
 from ..kernel.engine import ENGINE_GENERIC, engine_kinds
 from ..platform import (VanillaNetPlatform, VariantName,
                         PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
@@ -64,6 +65,8 @@ class VariantResult:
     #: Bus abstraction level the variant ran on
     #: (``"signal"``/``"transaction"``/``"functional"``).
     bus_level: str = BUS_SIGNAL
+    #: CPU abstraction level the variant ran on (``"cycle"``/``"quantum"``).
+    cpu_level: str = CPU_CYCLE
     #: Kernel work counters accumulated over the whole measured run.
     kernel_counters: dict = field(default_factory=dict)
 
@@ -112,22 +115,25 @@ class Figure2Experiment:
     # -- individual variants -------------------------------------------------
     def measure_variant(self, variant: VariantName,
                         engine: str = ENGINE_GENERIC,
-                        bus_level: str = BUS_SIGNAL) -> VariantResult:
-        """Measure one variant on one engine and one bus level.
+                        bus_level: str = BUS_SIGNAL,
+                        cpu_level: str = CPU_CYCLE) -> VariantResult:
+        """Measure one variant on one engine, bus level and CPU level.
 
-        The RTL HDL baseline has no OPB transport seam; it is always
-        measured at (and reported as) signal level.
+        The RTL HDL baseline has no OPB transport seam and no ISS wrapper;
+        it is always measured at (and reported as) signal/cycle level.
         """
         if variant is VariantName.RTL_HDL:
             return self._measure_rtl(engine)
-        return self._measure_systemc(variant, engine, bus_level)
+        return self._measure_systemc(variant, engine, bus_level, cpu_level)
 
     def _measure_systemc(self, variant: VariantName,
                          engine: str = ENGINE_GENERIC,
-                         bus_level: str = BUS_SIGNAL) -> VariantResult:
+                         bus_level: str = BUS_SIGNAL,
+                         cpu_level: str = CPU_CYCLE) -> VariantResult:
         options = self.options
         platform = VanillaNetPlatform(variant_config(variant, engine=engine,
-                                                     bus_level=bus_level))
+                                                     bus_level=bus_level,
+                                                     cpu_level=cpu_level))
         program = build_boot_program(options.boot_params())
         platform.load_program(program)
         speed = AggregatedSpeed(variant.value)
@@ -163,6 +169,7 @@ class Figure2Experiment:
             interception_hits=stats.interception_hits,
             engine=engine,
             bus_level=bus_level,
+            cpu_level=cpu_level,
             kernel_counters=platform.sim.stats.as_dict(),
         )
 
@@ -241,5 +248,27 @@ class Figure2Experiment:
             levels = list(bus_levels())
         return [self.measure_variant(variant, engine=engine,
                                      bus_level=level)
+                for variant in variants for level in levels
+                if variant is not VariantName.RTL_HDL]
+
+    def run_cpu_level_comparison(
+            self, variants: Optional[Sequence[VariantName]] = None,
+            levels: Optional[Sequence[str]] = None,
+            engine: str = ENGINE_GENERIC,
+            bus_level: str = BUS_SIGNAL) -> list[VariantResult]:
+        """Measure every requested variant on every requested CPU level.
+
+        The CPU-abstraction ablation: the same models, workloads and
+        measurement windows, differing only in how the ISS wrapper executes
+        instructions (per-cycle thread versus temporally-decoupled time
+        quanta).  The RTL HDL baseline is skipped (it has no ISS wrapper).
+        """
+        if variants is None:
+            variants = [variant for variant in VariantName
+                        if variant is not VariantName.RTL_HDL]
+        if levels is None:
+            levels = list(cpu_levels())
+        return [self.measure_variant(variant, engine=engine,
+                                     bus_level=bus_level, cpu_level=level)
                 for variant in variants for level in levels
                 if variant is not VariantName.RTL_HDL]

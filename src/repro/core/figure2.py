@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..bus.transport import BUS_FUNCTIONAL, BUS_SIGNAL
+from ..iss.wrapper import CPU_CYCLE, CPU_QUANTUM
 from ..kernel.engine import ENGINE_CLOCKED, ENGINE_GENERIC
 from ..platform import VariantName
 from .experiment import VariantResult
@@ -33,14 +34,15 @@ class Figure2Report:
     # -- access helpers -------------------------------------------------------
     def result_for(self, variant: VariantName,
                    engine: Optional[str] = None,
-                   bus_level: Optional[str] = None) -> VariantResult:
+                   bus_level: Optional[str] = None,
+                   cpu_level: Optional[str] = None) -> VariantResult:
         """The result of one variant; raises ``KeyError`` when absent.
 
         Without ``engine`` the generic-engine row is preferred (the paper's
         own figure is a generic-engine measurement); without ``bus_level``
-        the signal-level row is preferred for the same reason.  When no
-        preferred row exists, whichever matching row is present is
-        returned.
+        the signal-level row is preferred and without ``cpu_level`` the
+        cycle-level row, for the same reason.  When no preferred row
+        exists, whichever matching row is present is returned.
         """
         fallback = None
         for result in self.results:
@@ -50,32 +52,40 @@ class Figure2Report:
                 continue
             if bus_level is not None and result.bus_level != bus_level:
                 continue
+            if cpu_level is not None and result.cpu_level != cpu_level:
+                continue
             preferred = (engine is not None
                          or result.engine == ENGINE_GENERIC) \
                 and (bus_level is not None
-                     or result.bus_level == BUS_SIGNAL)
+                     or result.bus_level == BUS_SIGNAL) \
+                and (cpu_level is not None
+                     or result.cpu_level == CPU_CYCLE)
             if preferred:
                 return result
             if fallback is None:
                 fallback = result
         if fallback is not None:
             return fallback
-        raise KeyError((variant, engine, bus_level))
+        raise KeyError((variant, engine, bus_level, cpu_level))
 
     def has(self, variant: VariantName,
             engine: Optional[str] = None,
-            bus_level: Optional[str] = None) -> bool:
+            bus_level: Optional[str] = None,
+            cpu_level: Optional[str] = None) -> bool:
         """True when the report contains the given variant row."""
         return any(result.variant is variant
                    and (engine is None or result.engine == engine)
                    and (bus_level is None or result.bus_level == bus_level)
+                   and (cpu_level is None or result.cpu_level == cpu_level)
                    for result in self.results)
 
     def cps(self, variant: VariantName,
             engine: Optional[str] = None,
-            bus_level: Optional[str] = None) -> float:
+            bus_level: Optional[str] = None,
+            cpu_level: Optional[str] = None) -> float:
         """Measured CPS (Hz) of a variant."""
-        return self.result_for(variant, engine, bus_level).speed.mean_cps
+        return self.result_for(variant, engine, bus_level,
+                               cpu_level).speed.mean_cps
 
     # -- summary quantities (paper sections 4.6 / 5.5 / 7) ----------------------
     def speedup_over_rtl(self, variant: VariantName) -> float:
@@ -148,7 +158,8 @@ class Figure2Report:
         """
         rows = []
         for result in self.results:
-            if result.bus_level != BUS_SIGNAL:
+            if result.bus_level != BUS_SIGNAL \
+                    or result.cpu_level != CPU_CYCLE:
                 continue
             row = {
                 "variant": result.variant.value,
@@ -211,9 +222,16 @@ class Figure2Report:
         return self.cps(variant, engine, bus_level) / base
 
     def bus_level_rows(self) -> list[dict]:
-        """Bus-ablation rows: one per (variant, engine, bus level) present."""
+        """Bus-ablation rows: one per (variant, engine, bus level) present.
+
+        Only cycle-level rows qualify (CPU-level ablation rows are reported
+        by :meth:`cpu_level_rows`), so the bus comparison never mixes CPU
+        abstractions.
+        """
         rows = []
         for result in self.results:
+            if result.cpu_level != CPU_CYCLE:
+                continue
             row = {
                 "variant": result.variant.value,
                 "engine": result.engine,
@@ -252,11 +270,84 @@ class Figure2Report:
         """The largest bus-level-over-signal CPS ratio in the report."""
         best = 0.0
         for result in self.results:
-            if result.bus_level != bus_level:
+            if result.bus_level != bus_level or result.cpu_level != CPU_CYCLE:
                 continue
-            if self.has(result.variant, result.engine, BUS_SIGNAL):
+            if self.has(result.variant, result.engine, BUS_SIGNAL,
+                        CPU_CYCLE):
                 best = max(best, self.bus_level_speedup(
                     result.variant, bus_level, engine=result.engine))
+        return best
+
+    # -- CPU-level comparison (the ISS-abstraction ablation) --------------------
+    def cpu_levels_present(self) -> list[str]:
+        """CPU-level names appearing in the report, cycle first."""
+        seen = []
+        for result in self.results:
+            if result.cpu_level not in seen:
+                seen.append(result.cpu_level)
+        seen.sort(key=lambda name: (name != CPU_CYCLE, name))
+        return seen
+
+    def cpu_level_speedup(self, variant: VariantName,
+                          cpu_level: str = CPU_QUANTUM,
+                          over: str = CPU_CYCLE,
+                          engine: Optional[str] = None,
+                          bus_level: Optional[str] = None) -> float:
+        """CPS ratio of one CPU level over another for the same variant."""
+        base = self.cps(variant, engine, bus_level, over)
+        if base <= 0:
+            return float("inf")
+        return self.cps(variant, engine, bus_level, cpu_level) / base
+
+    def cpu_level_rows(self) -> list[dict]:
+        """CPU-ablation rows: one per (variant, engine, bus, cpu) present."""
+        rows = []
+        for result in self.results:
+            row = {
+                "variant": result.variant.value,
+                "engine": result.engine,
+                "bus_level": result.bus_level,
+                "cpu_level": result.cpu_level,
+                "measured_cps_khz": result.cps_khz,
+                "measured_cpi": result.cpi,
+            }
+            if result.cpu_level != CPU_CYCLE \
+                    and self.has(result.variant, result.engine,
+                                 result.bus_level, CPU_CYCLE):
+                row["speedup_over_cycle"] = self.cpu_level_speedup(
+                    result.variant, result.cpu_level, CPU_CYCLE,
+                    engine=result.engine, bus_level=result.bus_level)
+            rows.append(row)
+        return rows
+
+    def format_cpu_level_table(self) -> str:
+        """Text table comparing CPU levels per variant (empty when only
+        one level was measured)."""
+        if len(self.cpu_levels_present()) < 2:
+            return ""
+        header = (f"{'configuration':<24} {'cpu level':>10} {'CPS [kHz]':>10} "
+                  f"{'CPI':>6} {'vs cycle':>9}")
+        lines = [header, "-" * len(header)]
+        for row in self.cpu_level_rows():
+            speedup = row.get("speedup_over_cycle")
+            speedup_text = f"{speedup:.2f}x" if speedup is not None else "-"
+            lines.append(f"{row['variant']:<24} {row['cpu_level']:>10} "
+                         f"{row['measured_cps_khz']:>10.3f} "
+                         f"{row['measured_cpi']:>6.2f} "
+                         f"{speedup_text:>9}")
+        return "\n".join(lines)
+
+    def best_cpu_level_speedup(self, cpu_level: str = CPU_QUANTUM) -> float:
+        """The largest cpu-level-over-cycle CPS ratio in the report."""
+        best = 0.0
+        for result in self.results:
+            if result.cpu_level != cpu_level:
+                continue
+            if self.has(result.variant, result.engine, result.bus_level,
+                        CPU_CYCLE):
+                best = max(best, self.cpu_level_speedup(
+                    result.variant, cpu_level, engine=result.engine,
+                    bus_level=result.bus_level))
         return best
 
     # -- shape checks --------------------------------------------------------------
@@ -320,6 +411,7 @@ class Figure2Report:
                 "variant": result.variant.value,
                 "engine": result.engine,
                 "bus_level": result.bus_level,
+                "cpu_level": result.cpu_level,
                 "label": result.label,
                 "measured_cps_khz": result.cps_khz,
                 "measured_effective_cps_khz": result.effective_cps_khz,

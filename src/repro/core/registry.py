@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..bus.transport import BUS_SIGNAL, bus_levels
+from ..iss.wrapper import CPU_CYCLE, cpu_levels
+from ..kernel.engine import ENGINE_GENERIC, engine_kinds
 from ..platform.config import VariantName
 
 
@@ -137,6 +140,65 @@ TECHNIQUES: tuple[Technique, ...] = (
                 "on the host in zero simulation time.",
     ),
 )
+
+
+@dataclass(frozen=True)
+class ExecutionSeam:
+    """One orthogonal execution seam of the reproduction.
+
+    Unlike :class:`Technique` entries, a seam is not a Figure 2 bar: it
+    changes *how* a variant is executed (engine, interconnect fabric, ISS
+    execution style) without changing the model, and every variant must
+    produce identical architectural results at every level of every seam.
+    """
+
+    name: str
+    #: The :class:`~repro.platform.config.ModelConfig` field selecting it.
+    config_field: str
+    #: All selector values, reference level first.
+    levels: tuple[str, ...]
+    #: The level preserving the reference behaviour cycle-for-cycle.
+    reference_level: str
+    summary: str
+
+
+EXECUTION_SEAMS: tuple[ExecutionSeam, ...] = (
+    ExecutionSeam(
+        name="simulation engine",
+        config_field="engine",
+        levels=tuple(engine_kinds()),
+        reference_level=ENGINE_GENERIC,
+        summary="The kernel scheduling the model: the general-purpose "
+                "evaluate/update/delta engine or the synchronous clocked "
+                "fast path.",
+    ),
+    ExecutionSeam(
+        name="bus abstraction",
+        config_field="bus_level",
+        levels=tuple(bus_levels()),
+        reference_level=BUS_SIGNAL,
+        summary="The interconnect fabric executing OPB transfers: "
+                "pin-accurate signals, transaction-level arbitration "
+                "arithmetic, or the functional DMI fast path.",
+    ),
+    ExecutionSeam(
+        name="cpu abstraction",
+        config_field="cpu_level",
+        levels=tuple(cpu_levels()),
+        reference_level=CPU_CYCLE,
+        summary="The ISS wrapper's execution style: a per-cycle execute "
+                "thread, or temporally-decoupled time quanta over a "
+                "decoded-instruction cache.",
+    ),
+)
+
+
+def seam_for(config_field: str) -> ExecutionSeam:
+    """The execution seam selected by a ``ModelConfig`` field."""
+    for seam in EXECUTION_SEAMS:
+        if seam.config_field == config_field:
+            return seam
+    raise KeyError(config_field)
 
 
 def technique_for(variant: VariantName) -> Technique:

@@ -233,6 +233,66 @@ def decode(word: int) -> Instruction:
     raise DecodeError(f"unknown opcode {opcode:#04x} in word {word:#010x}")
 
 
+class DecodedEntry:
+    """One address-keyed entry of the ISS's decoded-program cache.
+
+    Where :class:`DecodeCache` memoises *words*, a :class:`DecodedEntry`
+    memoises one *program location*: the word fetched from ``pc``, its
+    decoded form, a precompiled zero-argument closure executing it with
+    operands already resolved, and everything the per-instruction hot path
+    would otherwise recompute (mnemonic string, profile function name,
+    memory-access classification).  Entries link forward into basic blocks
+    through ``next_entry`` so straight-line code executes without even a
+    dictionary lookup; the link carries the successor's ``pc`` guard, so a
+    stale link can never execute the wrong location.
+
+    ``valid`` flips to False when a store overwrites the cached word
+    (self-modifying code) -- consumers must check it before executing a
+    chained entry.  ``fetch_cycles``/``fetch_epoch`` let the
+    temporally-decoupled wrapper reuse the protocol cycle annotation of
+    the first fetch while the fetch routing (dispatcher toggles) is
+    unchanged.
+    """
+
+    __slots__ = ("pc", "word", "instruction", "mnemonic", "execute",
+                 "function_name", "is_load", "is_store", "is_imm",
+                 "access_size", "delay_slot", "valid", "next_entry",
+                 "fetch_cycles", "fetch_epoch", "falls_through", "block",
+                 "ea", "rd")
+
+    def __init__(self, pc: int, word: int, instruction: Instruction,
+                 execute, function_name: Optional[str]) -> None:
+        self.pc = pc
+        self.word = word
+        self.instruction = instruction
+        self.mnemonic = instruction.mnemonic
+        self.execute = execute
+        self.function_name = function_name
+        self.is_load = instruction.is_load
+        self.is_store = instruction.is_store
+        self.is_imm = instruction.mnemonic == "imm"
+        self.access_size = instruction.access_size
+        self.delay_slot = instruction.delay_slot
+        self.valid = True
+        self.next_entry: Optional["DecodedEntry"] = None
+        self.fetch_cycles = -1
+        self.fetch_epoch = -1
+        #: True when executing can only advance the PC by 4: no branch,
+        #: no IMM prefix, no memory access, no PC-reading special move.
+        #: Set by the core, which knows the handler families.
+        self.falls_through = False
+        #: Cached straight-line block starting here (built by the wrapper).
+        self.block = None
+        #: Precompiled effective-address closure (loads/stores only; valid
+        #: while no IMM prefix is active).  Set by the core.
+        self.ea = None
+        self.rd = instruction.rd
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DecodedEntry(pc={self.pc:#010x}, "
+                f"mnemonic={self.mnemonic!r}, valid={self.valid})")
+
+
 class DecodeCache:
     """A decoded-instruction cache keyed by instruction word.
 

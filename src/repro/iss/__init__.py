@@ -2,20 +2,27 @@
 
 from .core import MicroBlazeCore, StepResult
 from .functional import FunctionalMicroBlaze
-from .interception import (InterceptionResult, KernelFunctionInterceptor,
-                           memcpy_handler, memset_handler)
+from .interception import (InterceptionResult, InvalidatingDirectMemory,
+                           KernelFunctionInterceptor, memcpy_handler,
+                           memset_handler)
 from .statistics import ExecutionStatistics
-from .wrapper import INTERRUPT_ENTRY_CYCLES, MicroBlazeWrapper
+from .wrapper import (CPU_CYCLE, CPU_QUANTUM, INTERRUPT_ENTRY_CYCLES,
+                      MicroBlazeWrapper, QuantumContext, cpu_levels)
 
 __all__ = [
+    "CPU_CYCLE",
+    "CPU_QUANTUM",
     "ExecutionStatistics",
     "FunctionalMicroBlaze",
     "INTERRUPT_ENTRY_CYCLES",
     "InterceptionResult",
+    "InvalidatingDirectMemory",
     "KernelFunctionInterceptor",
     "MicroBlazeCore",
     "MicroBlazeWrapper",
+    "QuantumContext",
     "StepResult",
+    "cpu_levels",
     "memcpy_handler",
     "memset_handler",
 ]

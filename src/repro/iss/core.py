@@ -20,7 +20,7 @@ from ..datatypes import (WORD_MASK, get_field, mask, sign_extend, to_signed,
                          truncate)
 from ..kernel.errors import ModelError
 from ..isa import encoding as enc
-from ..isa.decoder import DecodeCache, Instruction
+from ..isa.decoder import DecodeCache, DecodedEntry, Instruction
 from ..isa.registers import (INTERRUPT_LINK_REGISTER, MachineStatusRegister,
                              RegisterFile)
 from .statistics import ExecutionStatistics
@@ -67,6 +67,18 @@ class MicroBlazeCore:
         self._imm_prefix: Optional[int] = None
         self._branch_after_delay: Optional[int] = None
         self._dispatch = self._build_dispatch()
+        #: Handler families whose instructions always fall straight
+        #: through to pc+4: no branch, no IMM prefix, no memory access and
+        #: no PC-reading special move (``mfs`` can read the PC, so it is
+        #: deliberately absent).  Such entries may join basic blocks.
+        self._fallthrough_handlers = {
+            self._exec_add, self._exec_rsub, self._exec_cmp,
+            self._exec_logic, self._exec_mul, self._exec_idiv,
+            self._exec_barrel_shift, self._exec_shift_one, self._exec_sext,
+        }
+        #: Address-keyed decoded-program cache (the temporally-decoupled
+        #: fast path's working set; see :meth:`build_decoded`).
+        self._decoded: dict[int, DecodedEntry] = {}
 
     # ------------------------------------------------------------------ #
     # control
@@ -465,12 +477,351 @@ class MicroBlazeCore:
         value = self.regs.read(instruction.rd) & mask(size * 8)
         self.store(address, value, size)
         self.stats.record_store()
+        if self._decoded:
+            self.invalidate_code(address, size)
         return (0, False, address, True)
 
     def _effective_address(self, instruction: Instruction) -> int:
         base = self.regs.read(instruction.ra)
         offset = self._operand_b(instruction)
         return truncate(base + offset, 32)
+
+    # ------------------------------------------------------------------ #
+    # decoded-program cache (the temporally-decoupled fast path)
+    # ------------------------------------------------------------------ #
+    def decoded_entry(self, pc: int) -> Optional[DecodedEntry]:
+        """The cached decoded entry at ``pc`` (None on a miss)."""
+        return self._decoded.get(pc)
+
+    def build_decoded(self, pc: int, word: int) -> DecodedEntry:
+        """Decode ``word`` at ``pc`` into a cached precompiled entry."""
+        instruction = self.decode_cache.lookup(word)
+        handler = self._dispatch.get(instruction.mnemonic)
+        if handler is None:
+            raise ModelError(f"unimplemented mnemonic "
+                             f"{instruction.mnemonic!r} at {pc:#010x}")
+        symbols = self.stats.symbols
+        function_name = symbols.containing(pc) \
+            if symbols is not None else None
+        entry = DecodedEntry(pc, word, instruction,
+                             self._specialise(instruction, handler),
+                             function_name)
+        entry.falls_through = handler in self._fallthrough_handlers
+        if instruction.is_load or instruction.is_store:
+            entry.ea = self._compile_effective_address(instruction)
+        self._decoded[pc] = entry
+        self.stats.decoded_entries += 1
+        return entry
+
+    def execute_decoded(self, entry: DecodedEntry) -> bool:
+        """Execute a cached entry; returns ``took_branch``.
+
+        Replicates :meth:`step` exactly, minus the fetch (the caller has
+        already routed it) and the interrupt check (the caller only runs
+        decoded entries while no interrupt can be pending).  An active IMM
+        prefix falls back to the generic handler, which resolves the
+        combined 32-bit immediate.
+        """
+        pc = self.pc
+        if self._imm_prefix is not None:
+            outcome = self._dispatch[entry.mnemonic](entry.instruction)
+        else:
+            outcome = entry.execute()
+        target, took_branch, _mem_addr, _mem_is_store = outcome
+
+        if not entry.is_imm:
+            self._imm_prefix = None
+
+        if self._branch_after_delay is not None:
+            next_pc = self._branch_after_delay
+            self._branch_after_delay = None
+        elif took_branch and entry.delay_slot:
+            self._branch_after_delay = target
+            next_pc = (pc + 4) & WORD_MASK
+        elif took_branch:
+            next_pc = target
+        else:
+            next_pc = (pc + 4) & WORD_MASK
+
+        self.pc = next_pc
+        stats = self.stats
+        stats.instructions_retired += 1
+        stats.per_mnemonic[entry.mnemonic] += 1
+        if took_branch:
+            stats.branches_taken += 1
+        if entry.function_name is not None:
+            stats.per_function[entry.function_name] += 1
+        return took_branch
+
+    def invalidate_code(self, address: int, size: int) -> None:
+        """Drop decoded entries overlapped by a write to ``address``.
+
+        Called on every executed store (and by the interception layer's
+        native writes), keeping the decoded-program cache safe under
+        self-modifying code.  A popped entry is also flagged invalid so
+        basic-block links pointing at it can never execute stale code.
+        """
+        cache = self._decoded
+        if not cache:
+            return
+        first = address & ~3
+        last = (address + size - 1) & ~3
+        entry = cache.pop(first, None)
+        if entry is not None:
+            entry.valid = False
+            self.stats.decoded_invalidations += 1
+        if last != first:
+            entry = cache.pop(last, None)
+            if entry is not None:
+                entry.valid = False
+                self.stats.decoded_invalidations += 1
+
+    def clear_decoded_cache(self) -> None:
+        """Invalidate the whole decoded-program cache (program reload)."""
+        for entry in self._decoded.values():
+            entry.valid = False
+        self._decoded.clear()
+
+    def _compile_effective_address(self, instruction: Instruction) -> Callable:
+        """A zero-argument closure computing the load/store address.
+
+        Matches :meth:`_effective_address` exactly for the no-IMM-prefix
+        case (operands resolved at compile time); callers must fall back to
+        :meth:`preview_effective_address` while a prefix is active.
+        """
+        # Index the register list directly: the 5-bit operand fields are
+        # in range by construction, so the bounds check in ``regs.read``
+        # buys nothing here.
+        values = self.regs._regs
+        ra = instruction.ra
+        if instruction.fmt is enc.Format.TYPE_B:
+            imm16 = sign_extend(instruction.imm, 16)
+
+            def effective_address():
+                return (values[ra] + imm16) & WORD_MASK
+        else:
+            rb = instruction.rb
+
+            def effective_address():
+                return (values[ra] + values[rb]) & WORD_MASK
+        return effective_address
+
+    def _specialise(self, instruction: Instruction, handler) -> Callable:
+        """Compile ``instruction`` into a zero-argument closure.
+
+        The closure performs exactly what ``handler(instruction)`` would
+        -- same register/MSR traffic, same statistics, same outcome tuple
+        -- but with the per-execution work hoisted out: mnemonic string
+        parsing, operand-field extraction, format checks and the dispatch
+        lookup all happen once, here.  Only valid while no IMM prefix is
+        active (:meth:`execute_decoded` falls back to ``handler`` then).
+        """
+        regs = self.regs
+        msr = self.msr
+        mnemonic = instruction.mnemonic
+        fmt_b = instruction.fmt is enc.Format.TYPE_B
+        imm16 = sign_extend(instruction.imm, 16)
+        ra = instruction.ra
+        rb = instruction.rb
+        rd = instruction.rd
+        no_branch = self._NO_BRANCH
+
+        # The hottest handlers index the register list directly (operand
+        # fields are 5 bits, always in range; ``rd == 0`` writes are
+        # discarded by the hoisted guard exactly like ``regs.write``).
+        values = regs._regs
+
+        if handler == self._exec_add:
+            use_carry = "c" in mnemonic.replace("addi", "add")[3:]
+            keep_carry = "k" in mnemonic[3:5]
+            if not use_carry and keep_carry:
+                # addk/addik: pure addition, flags untouched.
+                if fmt_b:
+                    def exec_add():
+                        if rd:
+                            values[rd] = (values[ra] + imm16) & WORD_MASK
+                        return no_branch
+                else:
+                    def exec_add():
+                        if rd:
+                            values[rd] = (values[ra] + values[rb]) & WORD_MASK
+                        return no_branch
+                return exec_add
+            if not use_carry:
+                # add/addi: addition plus the carry-out update.
+                if fmt_b:
+                    def exec_add():
+                        total = values[ra] + imm16
+                        if rd:
+                            values[rd] = total & WORD_MASK
+                        msr.carry = 1 if total > WORD_MASK else 0
+                        return no_branch
+                else:
+                    def exec_add():
+                        total = values[ra] + values[rb]
+                        if rd:
+                            values[rd] = total & WORD_MASK
+                        msr.carry = 1 if total > WORD_MASK else 0
+                        return no_branch
+                return exec_add
+
+            def exec_add():
+                total = values[ra] + (imm16 if fmt_b else values[rb]) \
+                    + msr.carry
+                if rd:
+                    values[rd] = total & WORD_MASK
+                if not keep_carry:
+                    msr.carry = 1 if total > WORD_MASK else 0
+                return no_branch
+            return exec_add
+
+        if handler == self._exec_rsub:
+            suffix = mnemonic.replace("rsubi", "rsub")[4:]
+            use_carry = "c" in suffix
+            keep_carry = "k" in suffix
+
+            def exec_rsub():
+                a = regs.read(ra)
+                b = imm16 if fmt_b else regs.read(rb)
+                total = b + (WORD_MASK ^ a) \
+                    + (msr.carry if use_carry else 1)
+                regs.write(rd, total)
+                if not keep_carry:
+                    msr.carry = 1 if total > WORD_MASK else 0
+                return no_branch
+            return exec_rsub
+
+        if handler == self._exec_cmp:
+            signed = mnemonic == "cmp"
+
+            def exec_cmp():
+                a = values[ra]
+                b = values[rb]
+                result = (b - a) & WORD_MASK
+                if signed:
+                    # Signed order on the unsigned encodings: flipping the
+                    # sign bit biases both operands by 2**31.
+                    greater = (a ^ 0x8000_0000) > (b ^ 0x8000_0000)
+                else:
+                    greater = a > b
+                if rd:
+                    values[rd] = (result & 0x7FFF_FFFF) \
+                        | (0x8000_0000 if greater else 0)
+                return no_branch
+            return exec_cmp
+
+        if handler == self._exec_logic:
+            op = mnemonic.rstrip("i") if fmt_b else mnemonic
+
+            def exec_logic():
+                a = values[ra]
+                b = imm16 if fmt_b else values[rb]
+                if op == "or":
+                    result = a | b
+                elif op == "and":
+                    result = a & b
+                elif op == "xor":
+                    result = a ^ b
+                else:  # andn
+                    result = a & ~b
+                if rd:
+                    values[rd] = result & WORD_MASK
+                return no_branch
+            return exec_logic
+
+        if handler == self._exec_mul:
+            def exec_mul():
+                a = regs.read(ra)
+                b = imm16 if fmt_b else regs.read(rb)
+                regs.write(rd, truncate(a * b, 32))
+                return no_branch
+            return exec_mul
+
+        if handler == self._exec_branch:
+            absolute = instruction.absolute
+            link = instruction.link
+
+            def exec_branch():
+                pc = self.pc
+                value = imm16 if fmt_b else values[rb]
+                target = value if absolute else (pc + value) & WORD_MASK
+                if link and rd:
+                    values[rd] = pc & WORD_MASK
+                return (target, True, None, False)
+            return exec_branch
+
+        if handler == self._exec_cond_branch:
+            condition = instruction.condition
+
+            # The signed comparisons against zero re-expressed on the
+            # unsigned register value (bit 31 set <=> negative), so the
+            # closure needs no sign conversion at all.
+            def exec_cond_branch():
+                a = values[ra]
+                if condition == "eq":
+                    taken = a == 0
+                elif condition == "ne":
+                    taken = a != 0
+                elif condition == "lt":
+                    taken = a >= 0x8000_0000
+                elif condition == "le":
+                    taken = a == 0 or a >= 0x8000_0000
+                elif condition == "gt":
+                    taken = 0 < a < 0x8000_0000
+                else:  # ge
+                    taken = a < 0x8000_0000
+                if not taken:
+                    return no_branch
+                offset = imm16 if fmt_b else values[rb]
+                return ((self.pc + offset) & WORD_MASK, True, None, False)
+            return exec_cond_branch
+
+        if handler == self._exec_return:
+            enable_interrupts = mnemonic == "rtid"
+            clear_break = mnemonic == "rtbd"
+
+            def exec_return():
+                target = truncate(regs.read(ra) + imm16, 32)
+                if enable_interrupts:
+                    msr.interrupt_enable = True
+                elif clear_break:
+                    msr.break_in_progress = False
+                return (target, True, None, False)
+            return exec_return
+
+        if handler == self._exec_load:
+            size = instruction.access_size
+            value_mask = mask(size * 8)
+
+            def exec_load():
+                address = truncate(
+                    regs.read(ra) + (imm16 if fmt_b else regs.read(rb)), 32)
+                value = self.load(address, size)
+                regs.write(rd, value & value_mask)
+                self.stats.loads += 1
+                return (0, False, address, False)
+            return exec_load
+
+        if handler == self._exec_store:
+            size = instruction.access_size
+            value_mask = mask(size * 8)
+
+            def exec_store():
+                address = truncate(
+                    regs.read(ra) + (imm16 if fmt_b else regs.read(rb)), 32)
+                self.store(address, regs.read(rd) & value_mask, size)
+                self.stats.stores += 1
+                if self._decoded:
+                    self.invalidate_code(address, size)
+                return (0, False, address, True)
+            return exec_store
+
+        # Rare instructions (shifts, special registers, idiv, imm) keep the
+        # generic handler; binding the instruction still removes the
+        # dispatch lookup from the hot loop.
+        def exec_generic():
+            return handler(instruction)
+        return exec_generic
 
     # ------------------------------------------------------------------ #
     # debugging helpers

@@ -17,7 +17,7 @@ from ..isa.assembler import Program
 from ..isa.symbols import SymbolTable
 from ..peripherals.memory import MemoryMap, MemoryStorage
 from .core import MicroBlazeCore
-from .interception import KernelFunctionInterceptor
+from .interception import InvalidatingDirectMemory, KernelFunctionInterceptor
 
 #: ``(address, size) -> value`` hook signature for peripheral reads.
 ReadHook = Callable[[int, int], int]
@@ -30,13 +30,18 @@ class FunctionalMicroBlaze:
 
     def __init__(self, memory_map: Optional[MemoryMap] = None,
                  memory_size: int = 0x10000,
-                 reset_pc: int = 0) -> None:
+                 reset_pc: int = 0,
+                 use_decoded_cache: bool = False) -> None:
         if memory_map is None:
             memory_map = MemoryMap([MemoryStorage("ram", 0, memory_size)])
         self.memory = memory_map
         self._io_regions: list[tuple[int, int, ReadHook, WriteHook]] = []
         self.core = MicroBlazeCore(fetch=self._fetch, load=self._load,
                                    store=self._store, reset_pc=reset_pc)
+        #: Execute through the address-keyed decoded-program cache instead
+        #: of re-decoding each fetched word (same architectural results;
+        #: store-driven invalidation keeps it SMC-safe).
+        self.use_decoded_cache = use_decoded_cache
         self.symbols: Optional[SymbolTable] = None
         self.interceptor: Optional[KernelFunctionInterceptor] = None
 
@@ -52,6 +57,7 @@ class FunctionalMicroBlaze:
         self.memory.load_program(program)
         self.symbols = program.symbols
         self.core.stats.attach_symbols(program.symbols)
+        self.core.clear_decoded_cache()
         if set_pc_to_entry:
             self.core.pc = program.entry_point
 
@@ -63,7 +69,8 @@ class FunctionalMicroBlaze:
         """
         if self.symbols is None:
             raise ValueError("load a program before enabling interception")
-        self.interceptor = KernelFunctionInterceptor(self.memory)
+        self.interceptor = KernelFunctionInterceptor(
+            InvalidatingDirectMemory(self.memory, self.core))
         return self.interceptor.register_standard_functions(self.symbols)
 
     # -- memory interface ------------------------------------------------------
@@ -101,6 +108,7 @@ class FunctionalMicroBlaze:
             halt_address = self.symbols.get(halt_symbol)
         executed = 0
         core = self.core
+        use_cache = self.use_decoded_cache
         while executed < max_instructions:
             if halt_address is not None and core.pc == halt_address \
                     and not core.in_delay_slot:
@@ -109,7 +117,14 @@ class FunctionalMicroBlaze:
                 self.interceptor.maybe_intercept(core)
                 if halt_address is not None and core.pc == halt_address:
                     break
-            core.step()
+            if use_cache and not core.interrupt_will_be_taken():
+                pc = core.pc
+                entry = core.decoded_entry(pc)
+                if entry is None:
+                    entry = core.build_decoded(pc, self._fetch(pc))
+                core.execute_decoded(entry)
+            else:
+                core.step()
             executed += 1
         return executed
 

@@ -35,6 +35,24 @@ class DirectMemory(Protocol):
         """Write ``size`` bytes of ``value`` at ``address``."""
 
 
+class InvalidatingDirectMemory:
+    """:class:`DirectMemory` adapter that keeps a decoded-program cache
+    coherent: every write also drops any decoded entries covering the
+    written bytes, so a natively-executed ``memcpy`` into code is as
+    SMC-safe as an ordinary store instruction."""
+
+    def __init__(self, memory: DirectMemory, core: MicroBlazeCore) -> None:
+        self._memory = memory
+        self._core = core
+
+    def read(self, address: int, size: int) -> int:
+        return self._memory.read(address, size)
+
+    def write(self, address: int, value: int, size: int) -> None:
+        self._memory.write(address, value, size)
+        self._core.invalidate_code(address, size)
+
+
 @dataclass
 class InterceptionResult:
     """What a handler did: used for statistics and tests."""

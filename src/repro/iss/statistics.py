@@ -36,6 +36,14 @@ class ExecutionStatistics:
         self.per_function: Counter[str] = Counter()
         #: Simulated clock cycles attributed by the wrapper (not the core).
         self.cycles = 0
+        #: Decoded-program cache entries built (address-keyed fast path).
+        self.decoded_entries = 0
+        #: Decoded-program cache entries dropped by stores into code.
+        self.decoded_invalidations = 0
+        #: Time quanta executed by the temporally-decoupled wrapper.
+        self.quantum_warps = 0
+        #: Instructions retired inside time quanta (subset of retired).
+        self.quantum_instructions = 0
 
     # -- recording ---------------------------------------------------------
     def attach_symbols(self, symbols: SymbolTable) -> None:
@@ -127,6 +135,10 @@ class ExecutionStatistics:
         self.instructions_intercepted += other.instructions_intercepted
         self.interception_hits += other.interception_hits
         self.cycles += other.cycles
+        self.decoded_entries += other.decoded_entries
+        self.decoded_invalidations += other.decoded_invalidations
+        self.quantum_warps += other.quantum_warps
+        self.quantum_instructions += other.quantum_instructions
         self.per_mnemonic.update(other.per_mnemonic)
         self.per_function.update(other.per_function)
 
@@ -143,6 +155,10 @@ class ExecutionStatistics:
             "interception_hits": self.interception_hits,
             "cycles": self.cycles,
             "cpi": self.cycles_per_instruction(),
+            "decoded_entries": self.decoded_entries,
+            "decoded_invalidations": self.decoded_invalidations,
+            "quantum_warps": self.quantum_warps,
+            "quantum_instructions": self.quantum_instructions,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

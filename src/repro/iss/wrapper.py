@@ -33,6 +33,7 @@ from typing import Optional
 from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
 from ..bus.opb import DATA_MASTER, INSTRUCTION_MASTER
 from ..bus.transport import BusTransport
+from ..datatypes import WORD_MASK
 from ..kernel.errors import ModelError
 from ..kernel.module import Module
 from ..kernel.engine import SimulationEngine
@@ -43,6 +44,96 @@ from .interception import KernelFunctionInterceptor
 
 #: Cycles accounted for vectoring to the interrupt handler.
 INTERRUPT_ENTRY_CYCLES = 2
+
+#: Cycle cost of a dispatcher-served access (hoisted for the warp loop).
+DISPATCHER_ACCESS_CYCLES = MemoryDispatcher.ACCESS_CYCLES
+
+#: Value masks per access size (hoisted for the warp loop).
+_SIZE_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFF_FFFF}
+
+#: CPU abstraction-level selectors (``ModelConfig.cpu_level``), mirroring
+#: the ``engine`` and ``bus_level`` seams.  ``"cycle"`` is the per-cycle
+#: execute thread below; ``"quantum"`` adds the temporally-decoupled fast
+#: path (decoded-instruction cache + time-quantum execution).
+CPU_CYCLE = "cycle"
+CPU_QUANTUM = "quantum"
+
+
+def cpu_levels() -> tuple[str, ...]:
+    """All CPU abstraction-level selector names."""
+    return (CPU_CYCLE, CPU_QUANTUM)
+
+
+class QuantumContext:
+    """Everything the time-quantum fast path must observe and control.
+
+    The warp may only run while the platform is *quiescent*: every process
+    statically sensitive to the clock's rising edge is one the warp knows
+    how to detach and reconcile (the ISS execute thread itself, the UART
+    transmit threads, and the timer/interrupt-controller tick processes
+    passed as ``extra_processes``), and no interrupt can be in flight.
+    ``blocked`` latches permanently when an unknown edge-sensitive process
+    exists (tracer, pin-level slave decoders, arbiter): the platform then
+    simply stays on the per-cycle path.
+    """
+
+    def __init__(self, clock, uarts=(), timer=None, intc=None,
+                 extra_processes=()) -> None:
+        self.clock = clock
+        self.uarts = tuple(uarts)
+        self.timer = timer
+        self.intc = intc
+        self.extra_processes = tuple(
+            process for process in extra_processes if process is not None)
+        #: Latched when the platform can structurally never warp.
+        self.blocked = False
+        #: The full set of detachable processes (filled by enable_quantum).
+        self.known_processes: set = set()
+
+
+#: Upper bound on basic-block length; straight-line ALU runs longer than
+#: this are split (keeps per-block budget/horizon checks meaningful).
+_BLOCK_CAP = 64
+
+
+class _BasicBlock:
+    """A straight-line run of fall-through decoded entries.
+
+    Built lazily by the quantum fast path from the ``next_entry`` chain:
+    only entries that cannot branch, touch memory, read the PC or start an
+    IMM prefix participate, and the block is split before the halt address
+    and before any interception-hooked address.  Executing a block is a
+    plain loop over precompiled closures followed by one batched update of
+    the PC, the cycle cost and the statistics counters -- the final
+    architectural state and statistics are exactly what per-instruction
+    execution would have produced.
+    """
+
+    __slots__ = ("executes", "count", "cycles", "end_pc", "last_entry",
+                 "mnemonic_items", "function_items", "epoch", "inval_stamp",
+                 "halt")
+
+    def __init__(self, entries, epoch: int, inval_stamp: int,
+                 halt: int) -> None:
+        self.executes = tuple(entry.execute for entry in entries)
+        self.count = len(entries)
+        self.cycles = sum(entry.fetch_cycles for entry in entries)
+        last = entries[-1]
+        self.end_pc = last.pc + 4
+        self.last_entry = last
+        mnemonics: dict = {}
+        functions: dict = {}
+        for entry in entries:
+            mnemonic = entry.mnemonic
+            mnemonics[mnemonic] = mnemonics.get(mnemonic, 0) + 1
+            name = entry.function_name
+            if name is not None:
+                functions[name] = functions.get(name, 0) + 1
+        self.mnemonic_items = tuple(mnemonics.items())
+        self.function_items = tuple(functions.items())
+        self.epoch = epoch
+        self.inval_stamp = inval_stamp
+        self.halt = halt
 
 
 class MicroBlazeWrapper(Module):
@@ -70,6 +161,14 @@ class MicroBlazeWrapper(Module):
         #: Optional cap on retired instructions (benchmark budgets).
         self.max_instructions: Optional[int] = None
         self.finished = False
+        #: CPU abstraction level ("cycle" until enable_quantum is called).
+        self.cpu_level = CPU_CYCLE
+        #: Instructions per time quantum when temporally decoupled.
+        self.quantum_instructions = 1024
+        self._quantum: Optional[QuantumContext] = None
+        #: Bumped whenever instruction routing may have changed (memory
+        #: suppression toggles); stale per-entry fetch timings re-route.
+        self._route_epoch = 0
         self._fetched_word = 0
         self._load_value = 0
         self._instruction_cycles = 0
@@ -121,6 +220,27 @@ class MicroBlazeWrapper(Module):
         """Instructions retired so far."""
         return self.core.stats.instructions_retired
 
+    def enable_quantum(self, context: QuantumContext,
+                       quantum_instructions: int = 1024) -> None:
+        """Switch to temporally-decoupled execution (``cpu_level=quantum``).
+
+        ``context`` names the platform processes the fast path may detach
+        from the clock while it warps time forward; any rising-edge process
+        outside that set permanently disables the fast path (the wrapper
+        then behaves exactly like the per-cycle level).
+        """
+        context.known_processes = set(context.extra_processes)
+        context.known_processes.add(self.main_process)
+        for uart in context.uarts:
+            context.known_processes.add(uart._tx_thread)
+        self._quantum = context
+        self.quantum_instructions = max(1, quantum_instructions)
+        self.cpu_level = CPU_QUANTUM
+
+    def bump_route_epoch(self) -> None:
+        """Invalidate cached per-instruction fetch routing/timings."""
+        self._route_epoch += 1
+
     # -- the execute thread --------------------------------------------------------
     def _execute_thread(self):
         core = self.core
@@ -132,6 +252,10 @@ class MicroBlazeWrapper(Module):
             if self._should_stop():
                 self.finished = True
                 continue
+            quantum = self._quantum
+            if quantum is not None and not quantum.blocked:
+                if (yield from self._quantum_burst(quantum)):
+                    continue
             if self.interceptor is not None:
                 self.interceptor.maybe_intercept(core)
                 if self._should_stop():
@@ -171,6 +295,469 @@ class MicroBlazeWrapper(Module):
         return (self.halt_address is not None
                 and self.core.pc == self.halt_address
                 and not self.core.in_delay_slot)
+
+    # -- the temporally-decoupled fast path ----------------------------------
+    def _quantum_can_engage(self, ctx: QuantumContext) -> bool:
+        """Cheapest-first quiescence checks; may latch ``ctx.blocked``."""
+        core = self.core
+        if core.interrupt_pending:
+            return False
+        # The next fetch must be servable without simulated time, otherwise
+        # detaching and reverting every cycle would only add overhead.
+        pc = core.pc
+        if not (self.lmb is not None and self.lmb.claims(pc, 4)) \
+                and not (self.dispatcher is not None
+                         and self.dispatcher.serves_fetch(pc)):
+            dmi_region = getattr(self.transport, "dmi_region", None)
+            if dmi_region is None or dmi_region(pc)[0] is None:
+                return False
+        intc = ctx.intc
+        if intc is not None:
+            # No interrupt may be in flight: the output low and stable, no
+            # enabled pending source, and every asserted input latched (so
+            # re-polling during the warp would change nothing).
+            irq = intc.irq
+            if irq._current:
+                return False
+            if irq._update_requested and irq._next != irq._current:
+                return False
+            if (intc.mer & 0x1) and (intc.isr & intc.ier):
+                return False
+            for bit, source in intc._inputs:
+                if source._update_requested \
+                        and source._next != source._current:
+                    return False
+                if source._current and not (intc.isr & (1 << bit)):
+                    return False
+        for uart in ctx.uarts:
+            # Transmit thread asleep on its own timeout, nothing buffered,
+            # and no interrupt generation the warp could delay.
+            thread = uart._tx_thread
+            if not thread._waiting_time:
+                return False
+            if thread._timeout_event._pending_kind != "timed":
+                return False
+            if uart.interrupt_enabled or not uart.tx_fifo.empty:
+                return False
+        clock = ctx.clock
+        posedge = clock.posedge_event()
+        known = ctx.known_processes
+        for process in posedge._static_procs:
+            if process not in known:
+                ctx.blocked = True
+                return False
+        if posedge._dynamic_procs:
+            return False
+        for event in (clock.negedge_event(), clock.default_event()):
+            if event._static_procs or event._dynamic_procs:
+                ctx.blocked = True
+                return False
+        return True
+
+    def _quantum_burst(self, ctx: QuantumContext):
+        """Execute up to one time quantum against DMI-backed memory.
+
+        Runs at a rising-edge activation.  Detaches every clock-driven
+        process, executes decoded instructions as straight-line Python while
+        accumulating the protocol-derived cycle cost, then charges the whole
+        quantum in a single timed wait and reconciles the detached state so
+        the next instruction starts on exactly the cycle the per-cycle path
+        would have reached.  Returns True when at least one cycle was
+        charged; False leaves the kernel state untouched so the caller runs
+        the ordinary per-cycle body.
+        """
+        if not self._quantum_can_engage(ctx):
+            return False
+        core = self.core
+        lmb = self.lmb
+        dispatcher = self.dispatcher
+        transport = self.transport
+        interceptor = self.interceptor
+        clock = ctx.clock
+        posedge = clock.posedge_event()
+        period = clock.period_ps
+        # ---- detach the clocked world ---------------------------------
+        detached = tuple(posedge._static_procs)
+        for process in detached:
+            posedge.remove_static(process)
+        # Park the UART transmit timeouts: mark the queued notification
+        # stale instead of cancelling (cancel rebuilds the generic heap).
+        parked = []
+        for uart in ctx.uarts:
+            event = uart._tx_thread._timeout_event
+            parked.append((event, event._pending_time,
+                           uart.tx_sleep_cycles * period))
+            event._pending_kind = None
+        # ---- warp horizon ---------------------------------------------
+        timer = ctx.timer
+        ticking = timer is not None and timer.enabled
+        cycle_bound = (0x1_0000_0000 - timer.counter) if ticking else None
+        # Never warp past the end of the kernel's current run window: a
+        # bounded ``run_cycles`` call must return with the same cycles
+        # charged at every abstraction level, so stimulus the testbench
+        # applies between run calls (suppression toggles, injected
+        # characters) lands on the same instruction it would per-cycle.
+        end_time = self.sim._run_end_time
+        if end_time is not None:
+            window = (end_time - self.sim.time_ps) // period
+            if cycle_bound is None or window < cycle_bound:
+                cycle_bound = window
+        budget = None
+        if self.max_instructions is not None:
+            budget = self.max_instructions - core.stats.instructions_retired
+        allowed = self.quantum_instructions
+        if budget is not None and budget < allowed:
+            allowed = budget
+        # -1 is never a PC value, so it doubles as "no halt address".
+        halt = -1 if self.halt_address is None else self.halt_address
+        hooked = None
+        split_pcs = ()
+        if interceptor is not None:
+            # Blocks split at every hooked address regardless of whether
+            # interception is currently enabled: it can be toggled at run
+            # time and blocks outlive the toggle.
+            split_pcs = interceptor._handlers
+            if interceptor.enabled:
+                hooked = split_pcs
+        epoch = self._route_epoch
+        stats = core.stats
+        per_mnemonic = stats.per_mnemonic
+        per_function = stats.per_function
+        # Operand fields are 5 bits (always in range) and r0 writes are
+        # guarded below, so the list replaces the checked accessors.
+        reg_values = core.regs._regs
+        # Hoisted routing bounds and backing stores: neither moves during
+        # a warp, so the claims/serves checks reduce to two integer
+        # comparisons each and the accesses to bytearray slices.
+        bram = lmb.bram if lmb is not None else None
+        bram_lo = bram_end = 0
+        bram_data = None
+        bram_writable = False
+        if bram is not None:
+            bram_lo = bram.base_address
+            bram_end = bram_lo + bram.size
+            bram_data = bram._data
+            bram_writable = not bram.read_only
+        disp_main = None
+        main_lo = main_end = 0
+        main_data = None
+        main_writable = False
+        if dispatcher is not None and dispatcher.handle_main_memory:
+            disp_main = dispatcher.main_memory
+            if disp_main is not None:
+                main_lo = disp_main.base_address
+                main_end = main_lo + disp_main.size
+                main_data = disp_main._data
+                main_writable = not disp_main.read_only
+        # ---- straight-line execution ----------------------------------
+        cycles = 0
+        executed = 0
+        prev = None
+        while executed < allowed:
+            pc = core.pc
+            if pc == halt and core._branch_after_delay is None:
+                break
+            if hooked is not None and pc in hooked \
+                    and interceptor.maybe_intercept(core) is not None:
+                prev = None
+                pc = core.pc
+                if pc == halt and core._branch_after_delay is None:
+                    break
+            entry = None
+            if prev is not None:
+                chained = prev.next_entry
+                if chained is not None and chained.valid \
+                        and chained.pc == pc:
+                    entry = chained
+            if entry is None:
+                entry = core.decoded_entry(pc)
+            if entry is not None and entry.fetch_epoch == epoch:
+                fetch_cycles = entry.fetch_cycles
+            else:
+                if lmb is not None and lmb.claims(pc, 4):
+                    word = lmb.read(pc, 4)
+                    fetch_cycles = LMB_ACCESS_CYCLES
+                elif dispatcher is not None and dispatcher.serves_fetch(pc):
+                    word, fetch_cycles = dispatcher.fetch(pc)
+                else:
+                    served = transport.direct_read(INSTRUCTION_MASTER, pc, 4)
+                    if served is None:
+                        break
+                    word, fetch_cycles = served
+                if entry is None:
+                    entry = core.build_decoded(pc, word)
+                elif word != entry.word:
+                    # Self-modified since decode: rebuild from the fresh word.
+                    core.invalidate_code(pc, 4)
+                    entry = core.build_decoded(pc, word)
+                entry.fetch_cycles = fetch_cycles
+                entry.fetch_epoch = epoch
+            if prev is not None and prev.next_entry is not entry:
+                prev.next_entry = entry
+            # ---- basic-block fast path --------------------------------
+            if entry.falls_through and core._imm_prefix is None \
+                    and core._branch_after_delay is None:
+                block = entry.block
+                if block is None or block.epoch != epoch \
+                        or block.inval_stamp != stats.decoded_invalidations \
+                        or block.halt != halt:
+                    block = self._build_block(core, entry, epoch, halt,
+                                              split_pcs, stats)
+                if block is not None \
+                        and executed + block.count <= allowed \
+                        and (cycle_bound is None
+                             or cycles + block.cycles <= cycle_bound):
+                    for execute in block.executes:
+                        execute()
+                    core.pc = block.end_pc
+                    stats.instructions_retired += block.count
+                    for name, count in block.mnemonic_items:
+                        per_mnemonic[name] += count
+                    for name, count in block.function_items:
+                        per_function[name] += count
+                    cycles += block.cycles
+                    executed += block.count
+                    prev = block.last_entry
+                    continue
+            # ---- inlined load/store execution -------------------------
+            if (entry.is_load or entry.is_store) \
+                    and core._imm_prefix is None:
+                # The whole data instruction in-line: the precompiled
+                # address closure, a direct backing-store access and the
+                # PC chain -- exactly the state changes exec_load /
+                # exec_store plus execute_decoded would make, minus the
+                # call layers.  Misalignment and unservable targets break
+                # out so the per-cycle path replays the instruction with
+                # its full diagnostics.
+                address = entry.ea()
+                size = entry.access_size
+                if size > 1 and address % size:
+                    break
+                if entry.is_load:
+                    if bram is not None and bram_lo <= address \
+                            and address + size <= bram_end:
+                        lmb.reads += 1
+                        bram.read_accesses += 1
+                        offset = address - bram_lo
+                        value = int.from_bytes(
+                            bram_data[offset:offset + size], "big")
+                        data_cycles = LMB_ACCESS_CYCLES
+                    elif disp_main is not None and main_lo <= address \
+                            and address + size <= main_end:
+                        dispatcher.data_accesses += 1
+                        disp_main.read_accesses += 1
+                        offset = address - main_lo
+                        value = int.from_bytes(
+                            main_data[offset:offset + size], "big")
+                        data_cycles = DISPATCHER_ACCESS_CYCLES
+                    else:
+                        served = transport.direct_read(DATA_MASTER,
+                                                       address, size)
+                        if served is None:
+                            break
+                        value, data_cycles = served
+                    step_cycles = fetch_cycles + data_cycles
+                    if cycle_bound is not None \
+                            and cycles + step_cycles > cycle_bound:
+                        break
+                    rd = entry.rd
+                    if rd:
+                        reg_values[rd] = value & _SIZE_MASKS[size]
+                    stats.loads += 1
+                else:
+                    value = reg_values[entry.rd] & _SIZE_MASKS[size]
+                    if bram is not None and bram_lo <= address \
+                            and address + size <= bram_end:
+                        if not bram_writable:
+                            break
+                        lmb.writes += 1
+                        bram.write_accesses += 1
+                        offset = address - bram_lo
+                        bram_data[offset:offset + size] = value.to_bytes(
+                            size, "big")
+                        data_cycles = LMB_ACCESS_CYCLES
+                    elif disp_main is not None and main_lo <= address \
+                            and address + size <= main_end:
+                        if not main_writable:
+                            break
+                        dispatcher.data_accesses += 1
+                        disp_main.write_accesses += 1
+                        offset = address - main_lo
+                        main_data[offset:offset + size] = value.to_bytes(
+                            size, "big")
+                        data_cycles = DISPATCHER_ACCESS_CYCLES
+                    else:
+                        data_cycles = transport.direct_write(
+                            DATA_MASTER, address, value, size)
+                        if data_cycles is None:
+                            break
+                    step_cycles = fetch_cycles + data_cycles
+                    if cycle_bound is not None \
+                            and cycles + step_cycles > cycle_bound:
+                        # The store replays on the per-cycle path; DMI
+                        # stores are idempotent, so the replay is safe.
+                        break
+                    stats.stores += 1
+                    if core._decoded:
+                        core.invalidate_code(address, size)
+                target = core._branch_after_delay
+                if target is not None:
+                    core.pc = target
+                    core._branch_after_delay = None
+                else:
+                    core.pc = (pc + 4) & WORD_MASK
+                stats.instructions_retired += 1
+                per_mnemonic[entry.mnemonic] += 1
+                if entry.function_name is not None:
+                    per_function[entry.function_name] += 1
+                cycles += step_cycles
+                executed += 1
+                prev = entry
+                continue
+            # Pre-execute an IMM-prefixed data access, exactly like the
+            # per-cycle path (the preview honours the active prefix).
+            data_cycles = 0
+            if entry.is_load:
+                address = core.preview_effective_address(entry.instruction)
+                size = entry.access_size
+                if bram is not None and bram_lo <= address \
+                        and address + size <= bram_end:
+                    lmb.reads += 1
+                    value = bram.read(address, size)
+                    data_cycles = LMB_ACCESS_CYCLES
+                elif disp_main is not None and main_lo <= address \
+                        and address + size <= main_end:
+                    dispatcher.data_accesses += 1
+                    value = disp_main.read(address, size)
+                    data_cycles = DISPATCHER_ACCESS_CYCLES
+                else:
+                    served = transport.direct_read(DATA_MASTER, address, size)
+                    if served is None:
+                        break
+                    value, data_cycles = served
+                self._load_value = value
+            elif entry.is_store:
+                address = core.preview_effective_address(entry.instruction)
+                size = entry.access_size
+                value = core.preview_store_value(entry.instruction)
+                if bram is not None and bram_lo <= address \
+                        and address + size <= bram_end:
+                    lmb.writes += 1
+                    bram.write(address, value, size)
+                    data_cycles = LMB_ACCESS_CYCLES
+                elif disp_main is not None and main_lo <= address \
+                        and address + size <= main_end:
+                    dispatcher.data_accesses += 1
+                    disp_main.write(address, value, size)
+                    data_cycles = DISPATCHER_ACCESS_CYCLES
+                else:
+                    data_cycles = transport.direct_write(DATA_MASTER, address,
+                                                         value, size)
+                    if data_cycles is None:
+                        break
+            step_cycles = fetch_cycles + data_cycles
+            if cycle_bound is not None \
+                    and cycles + step_cycles > cycle_bound:
+                # Timer would wrap mid-quantum; let the per-cycle path (or
+                # the next quantum) carry execution across the expiry.
+                break
+            if core._imm_prefix is None:
+                # Inlined execute_decoded for the prefix-free case: the
+                # specialised closure plus the PC chain and stats, without
+                # the extra frame.  An IMM entry sets the prefix inside
+                # its closure, so there is nothing to clear here.
+                outcome = entry.execute()
+                target = outcome[0]
+                took_branch = outcome[1]
+                pending = core._branch_after_delay
+                if pending is not None:
+                    core.pc = pending
+                    core._branch_after_delay = None
+                elif took_branch and entry.delay_slot:
+                    core._branch_after_delay = target
+                    core.pc = (pc + 4) & WORD_MASK
+                elif took_branch:
+                    core.pc = target
+                else:
+                    core.pc = (pc + 4) & WORD_MASK
+                stats.instructions_retired += 1
+                per_mnemonic[entry.mnemonic] += 1
+                if took_branch:
+                    stats.branches_taken += 1
+                if entry.function_name is not None:
+                    per_function[entry.function_name] += 1
+            else:
+                core.execute_decoded(entry)
+            cycles += step_cycles
+            executed += 1
+            prev = entry
+        if cycles == 0:
+            # Nothing charged: restore the world untouched, zero cost.  The
+            # parked notifications are revived in place via the kernel's
+            # staleness rule, so no queue traffic happens either.
+            for process in detached:
+                posedge.add_static(process)
+            for event, pending_time, __ in parked:
+                event._pending_kind = "timed"
+                event._pending_time = pending_time
+            return False
+        stats.add_cycles(cycles)
+        stats.quantum_warps += 1
+        stats.quantum_instructions += executed
+        # ---- charge the whole quantum in one timed wait ---------------
+        yield cycles * period
+        # ---- reconcile ------------------------------------------------
+        if ticking:
+            # The final increment happens live: the re-attached count
+            # process runs on this very edge, which also keeps expiry,
+            # auto-reload and interrupt generation on the exact cycle.
+            timer.counter = (timer.counter + cycles - 1) & WORD_MASK
+        for process in detached:
+            posedge.add_static(process)
+        now = self.sim.time_ps
+        for event, pending_time, sleep_ps in parked:
+            if pending_time >= now:
+                event.notify(pending_time - now)
+            else:
+                behind = now - pending_time
+                catch_up = -(-behind // sleep_ps) * sleep_ps
+                event.notify(pending_time + catch_up - now)
+        # Re-align with the rising edge this wait matured on.
+        yield None
+        return True
+
+    def _build_block(self, core, first, epoch: int, halt: int, split_pcs,
+                     stats):
+        """Extend ``first`` into a basic block along its fall-through chain.
+
+        Returns the cached :class:`_BasicBlock`, or ``None`` when the
+        straight-line successor has not been decoded (or re-routed) yet --
+        the block then stays uncached so it can grow on a later pass once
+        per-instruction execution has filled the chain in.
+        """
+        entries = [first]
+        pc = first.pc + 4
+        cur = first
+        while len(entries) < _BLOCK_CAP:
+            nxt = cur.next_entry
+            if nxt is None or not nxt.valid or nxt.pc != pc:
+                nxt = core.decoded_entry(pc)
+                if nxt is None:
+                    return None
+                cur.next_entry = nxt
+            if not nxt.falls_through or pc == halt or pc in split_pcs:
+                break
+            if nxt.fetch_epoch != epoch:
+                # Successor timing not re-routed yet; it will be after the
+                # per-instruction pass that follows, so retry then.
+                return None
+            entries.append(nxt)
+            pc += 4
+            cur = nxt
+        block = _BasicBlock(entries, epoch, stats.decoded_invalidations,
+                            halt)
+        first.block = block
+        return block
 
     # -- routed accesses ---------------------------------------------------------------
     def _fetch(self, address: int):

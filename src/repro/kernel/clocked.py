@@ -182,6 +182,61 @@ class ClockedEngine(SimulationEngine):
         bucket_heap = self._bucket_heap
         adopted = self._adopted
         while True:
+            # Bulk edge skip: while the quantum fast path has every
+            # clock-driven process detached, the edge events have no
+            # subscribers and every edge before the next bucketed
+            # notification (typically the quantum's single timed wait)
+            # would be a silent step.  Produce those edges arithmetically
+            # in one batch instead of iterating the loop per half-period.
+            if len(adopted) == 1:
+                entry = adopted[0]
+                clock = entry.clock
+                t = entry.next_edge_ps
+                if t is not None and clock._running:
+                    limit = bucket_heap[0] if bucket_heap else None
+                    if end_time is not None and (limit is None
+                                                 or end_time < limit):
+                        limit = end_time
+                    if limit is not None and t < limit \
+                            and not (clock._posedge_event._static_procs
+                                     or clock._posedge_event._dynamic_procs
+                                     or clock._negedge_event._static_procs
+                                     or clock._negedge_event._dynamic_procs
+                                     or clock._changed_event._static_procs
+                                     or clock._changed_event._dynamic_procs):
+                        value = clock._value
+                        high_ps = clock.high_ps
+                        low_ps = clock.low_ps
+                        period_ps = high_ps + low_ps
+                        pos = neg = 0
+                        if value and t < limit:
+                            value = False
+                            neg += 1
+                            t += low_ps
+                        if not value and t < limit:
+                            # Skip whole periods (rising at t, falling at
+                            # t+high) whose edges all mature before limit.
+                            span = limit - t
+                            if span > high_ps:
+                                whole = (span - high_ps - 1) // period_ps + 1
+                                pos += whole
+                                neg += whole
+                                t += whole * period_ps
+                        while t < limit:
+                            if value:
+                                value = False
+                                neg += 1
+                                t += low_ps
+                            else:
+                                value = True
+                                pos += 1
+                                t += high_ps
+                        if pos or neg:
+                            clock._value = value
+                            clock.posedge_count += pos
+                            clock.negedge_count += neg
+                            entry.next_edge_ps = t
+                            stats.edges_skipped += pos + neg
             next_time = bucket_heap[0] if bucket_heap else None
             for entry in adopted:
                 edge_time = entry.next_edge_ps

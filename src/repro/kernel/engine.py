@@ -79,6 +79,12 @@ class SimulationEngine:
         self._stop_requested = False
         self._finished = False
         self._max_delta_cycles = 10_000
+        #: End of the active :meth:`run` window in picoseconds (None for an
+        #: unbounded run).  Temporally-decoupled models consult this so a
+        #: warp never charges time past the point where the caller regains
+        #: control -- external stimulus applied between ``run`` calls then
+        #: lands on the same cycle at every abstraction level.
+        self._run_end_time: Optional[int] = None
         self._end_of_elaboration_callbacks: list[Callable[[], None]] = []
         self._activation_trace: Optional[List[str]] = None
 
@@ -217,10 +223,13 @@ class SimulationEngine:
         end_time = None
         if duration is not None:
             end_time = self.time_ps + _as_ps(duration)
+        self._run_end_time = end_time
         try:
             self._run_loop(end_time)
         except SimulationStopped:
             pass
+        finally:
+            self._run_end_time = None
         return SimTime(self.time_ps)
 
     # ------------------------------------------------------------------ #

@@ -32,6 +32,9 @@ class KernelStatistics:
     timed_steps: int = 0
     channel_updates: int = 0
     events_notified: int = 0
+    #: Clock edges produced arithmetically in bulk (no subscribers) while
+    #: the quantum CPU fast path had the clocked world detached.
+    edges_skipped: int = 0
     per_process: dict = field(default_factory=dict)
 
     #: Callable returning the owning engine's processes; bound by the
@@ -59,6 +62,7 @@ class KernelStatistics:
             timed_steps=self.timed_steps,
             channel_updates=self.channel_updates,
             events_notified=self.events_notified,
+            edges_skipped=self.edges_skipped,
             per_process=dict(self.materialize_per_process()),
         )
 
@@ -82,6 +86,7 @@ class KernelStatistics:
             timed_steps=self.timed_steps - earlier.timed_steps,
             channel_updates=self.channel_updates - earlier.channel_updates,
             events_notified=self.events_notified - earlier.events_notified,
+            edges_skipped=self.edges_skipped - earlier.edges_skipped,
             per_process=per_process,
         )
 
@@ -94,4 +99,5 @@ class KernelStatistics:
             "timed_steps": self.timed_steps,
             "channel_updates": self.channel_updates,
             "events_notified": self.events_notified,
+            "edges_skipped": self.edges_skipped,
         }

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from enum import Enum
 
 from ..bus.transport import BUS_SIGNAL, bus_levels
+from ..iss.wrapper import CPU_CYCLE, cpu_levels
 from ..kernel.engine import ENGINE_GENERIC
 from ..kernel.simtime import SimTime
 from ..signals import DataMode
@@ -148,6 +149,15 @@ class ModelConfig:
     #: variant runs on every fabric with identical architectural results
     #: (see :mod:`repro.bus.transport`).
     bus_level: str = BUS_SIGNAL
+    #: CPU abstraction level of the ISS wrapper: ``"cycle"`` (per-cycle
+    #: execute thread) or ``"quantum"`` (temporally-decoupled fast path:
+    #: decoded-instruction cache + time-quantum execution, see
+    #: :mod:`repro.iss.wrapper`).  A third orthogonal seam beside
+    #: ``engine`` and ``bus_level``: any variant runs at either level with
+    #: identical architectural results.
+    cpu_level: str = CPU_CYCLE
+    #: Instructions per time quantum when ``cpu_level == "quantum"``.
+    quantum_instructions: int = 1024
 
     @property
     def is_cycle_accurate(self) -> bool:
@@ -187,19 +197,23 @@ class ModelConfig:
             options.append(f"{self.engine} engine")
         if self.bus_level != BUS_SIGNAL:
             options.append(f"{self.bus_level} bus")
+        if self.cpu_level != CPU_CYCLE:
+            options.append(f"{self.cpu_level} cpu")
         return f"{self.name}: " + ", ".join(options)
 
 
 def variant_config(variant: VariantName,
                    engine: str = ENGINE_GENERIC,
-                   bus_level: str = BUS_SIGNAL) -> ModelConfig:
+                   bus_level: str = BUS_SIGNAL,
+                   cpu_level: str = CPU_CYCLE) -> ModelConfig:
     """The :class:`ModelConfig` for a Figure 2 bar.
 
     Optimisations accumulate from left to right across the figure, exactly
     as in the paper (each bar adds one technique to the previous bar).
-    ``engine`` selects the simulation engine and ``bus_level`` the
-    interconnect fabric the variant runs on, without changing the model
-    itself.  ``VariantName.RTL_HDL`` has no ``ModelConfig``; it is built by
+    ``engine`` selects the simulation engine, ``bus_level`` the
+    interconnect fabric and ``cpu_level`` the ISS wrapper's execution
+    style the variant runs on, without changing the model itself.
+    ``VariantName.RTL_HDL`` has no ``ModelConfig``; it is built by
     :mod:`repro.rtl` (which takes the same ``engine`` selector directly).
     """
     if variant is VariantName.RTL_HDL:
@@ -208,8 +222,11 @@ def variant_config(variant: VariantName,
     if bus_level not in bus_levels():
         raise ValueError(f"unknown bus level {bus_level!r}; "
                          f"expected one of {sorted(bus_levels())}")
+    if cpu_level not in cpu_levels():
+        raise ValueError(f"unknown cpu level {cpu_level!r}; "
+                         f"expected one of {sorted(cpu_levels())}")
     config = ModelConfig(name=variant.value, engine=engine,
-                         bus_level=bus_level)
+                         bus_level=bus_level, cpu_level=cpu_level)
     if variant is VariantName.INITIAL_TRACE:
         return config.with_updates(trace_enabled=True)
     if variant is VariantName.INITIAL:

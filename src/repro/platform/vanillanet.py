@@ -17,7 +17,9 @@ from ..bus import (BUS_SIGNAL, DATA_MASTER, INSTRUCTION_MASTER,
                    LocalMemoryBus, OpbArbiter, OpbInterconnect,
                    OpbMasterPort, SignalFabric, create_fabric)
 from ..isa.assembler import Program
-from ..iss import KernelFunctionInterceptor, MicroBlazeWrapper
+from ..iss import (CPU_QUANTUM, InvalidatingDirectMemory,
+                   KernelFunctionInterceptor, MicroBlazeWrapper,
+                   QuantumContext)
 from ..kernel import Module, SimulationEngine, create_engine
 from ..kernel.simtime import SimTime
 from ..peripherals import (ConsoleSink, EthernetMacProxy, FlashController,
@@ -179,6 +181,26 @@ class VanillaNetPlatform:
             interceptor=self.interceptor,
             interrupt_signal=self.intc.irq,
             reset_pc=mm.BRAM_BASE)
+        # Interceptor writes bypass the buses; route them through the
+        # decoded-cache invalidating adapter so a natively-executed memcpy
+        # into code stays SMC-safe at every cpu level.
+        self.interceptor.memory = InvalidatingDirectMemory(
+            self.memory_map, self.microblaze.core)
+        if config.cpu_level == CPU_QUANTUM:
+            extra_processes = []
+            if self._combined is not None:
+                extra_processes.append(self._combined.process)
+            else:
+                extra_processes.append(self.timer._count_process)
+                extra_processes.append(self.intc._poll_process)
+            self.microblaze.enable_quantum(
+                QuantumContext(
+                    clock=self.clock,
+                    uarts=(self.console_uart, self.debug_uart),
+                    timer=self.timer,
+                    intc=self.intc,
+                    extra_processes=extra_processes),
+                quantum_instructions=config.quantum_instructions)
 
         # -- tracing -----------------------------------------------------------------------
         self.tracer: Optional[Tracer] = None
@@ -211,6 +233,7 @@ class VanillaNetPlatform:
         self.program = program
         self.memory_map.load_program(program)
         self.microblaze.core.stats.attach_symbols(program.symbols)
+        self.microblaze.core.clear_decoded_cache()
         self.microblaze.core.pc = program.entry_point
         halt_address = program.symbols.get(halt_symbol)
         self.microblaze.set_halt_address(halt_address)
@@ -258,10 +281,12 @@ class VanillaNetPlatform:
     def set_instruction_memory_suppression(self, enabled: bool) -> None:
         """Toggle dispatcher-served instruction fetches at run time."""
         self.dispatcher.enable_instruction_fetches(enabled)
+        self.microblaze.bump_route_epoch()
 
     def set_main_memory_suppression(self, enabled: bool) -> None:
         """Toggle dispatcher ownership of the SDRAM at run time."""
         self.dispatcher.enable_main_memory(enabled)
+        self.microblaze.bump_route_epoch()
 
     def set_kernel_function_capture(self, enabled: bool) -> None:
         """Toggle memset/memcpy interception at run time."""
