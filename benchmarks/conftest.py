@@ -12,13 +12,12 @@ benchmark run finishes in minutes.
 
 from __future__ import annotations
 
-import json
 import pathlib
-import subprocess
 
 import pytest
 
 from repro.bus import BUS_SIGNAL
+from repro.core import sweep as _sweep
 from repro.iss import CPU_CYCLE
 from repro.kernel import ENGINE_GENERIC
 from repro.platform import VanillaNetPlatform, VariantName, variant_config
@@ -30,7 +29,7 @@ from repro.software import BootParams, build_boot_program
 BENCH_FIG2_PATH = pathlib.Path(__file__).resolve().parent.parent \
     / "BENCH_fig2.json"
 
-BENCH_FIG2_SCHEMA = "bench-fig2/v3"
+BENCH_FIG2_SCHEMA = _sweep.BENCH_FIG2_SCHEMA
 
 #: Per-commit ledger of benchmark documents: every ``record_fig2_results``
 #: call also snapshots the merged document to ``bench_history/<commit>.json``
@@ -104,85 +103,35 @@ def record_speed(benchmark, platform: VanillaNetPlatform,
     benchmark.extra_info["processes"] = platform.process_count()
 
 
-def record_fig2_results(results) -> dict:
+def record_fig2_results(results, errors=()) -> dict:
     """Merge measured variant results into ``BENCH_fig2.json``.
 
-    ``results`` is an iterable of
-    :class:`~repro.core.experiment.VariantResult`.  Entries are keyed by
-    ``variant/engine/bus_level/cpu_level`` so repeated benchmark runs
-    update in place, and the file keeps results for every engine and
-    abstraction level a run measured.  The merged document is also
-    snapshotted into the per-commit ``bench_history/`` ledger.  Returns
-    the full document written.
+    Thin wrapper over :func:`repro.core.sweep.record_fig2_results` bound
+    to this repository's paths.  ``results`` is an iterable of
+    :class:`~repro.core.experiment.VariantResult`; ``errors`` an iterable
+    of sweep error records (failed/timed-out cells), which become
+    explicit ``error`` entries rather than silently missing keys.  The
+    merged document is also snapshotted into the per-commit
+    ``bench_history/`` ledger.  Returns the full document written.
     """
-    document = load_fig2_results()
-    for result in results:
-        key = (f"{result.variant.value}/{result.engine}"
-               f"/{result.bus_level}/{result.cpu_level}")
-        document["entries"][key] = {
-            "variant": result.variant.value,
-            "engine": result.engine,
-            "bus_level": result.bus_level,
-            "cpu_level": result.cpu_level,
-            "cps_khz": round(result.cps_khz, 3),
-            "counters": dict(result.kernel_counters),
-        }
-    BENCH_FIG2_PATH.write_text(json.dumps(document, indent=2,
-                                          sort_keys=True) + "\n")
-    record_bench_history(document)
-    return document
+    return _sweep.record_fig2_results(results, BENCH_FIG2_PATH,
+                                      history_dir=BENCH_HISTORY_DIR,
+                                      errors=errors)
 
 
 def current_commit() -> str:
     """The abbreviated hash of HEAD (``"unversioned"`` outside git)."""
-    try:
-        probe = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
-                               capture_output=True, text=True, timeout=10,
-                               cwd=BENCH_FIG2_PATH.parent)
-        if probe.returncode == 0:
-            return probe.stdout.strip()
-    except OSError:
-        pass
-    return "unversioned"
+    return _sweep.current_commit(BENCH_FIG2_PATH.parent)
 
 
 def record_bench_history(document: dict) -> pathlib.Path:
-    """Snapshot a benchmark document into ``bench_history/<commit>.json``.
-
-    Repeated runs at the same commit overwrite the snapshot (the document
-    is already a merge across runs), so the ledger holds exactly one entry
-    per measured commit.
-    """
-    BENCH_HISTORY_DIR.mkdir(exist_ok=True)
-    commit = current_commit()
-    snapshot = dict(document)
-    snapshot["commit"] = commit
-    path = BENCH_HISTORY_DIR / f"{commit}.json"
-    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
-    return path
+    """Snapshot a benchmark document into ``bench_history/<commit>.json``."""
+    return _sweep.record_bench_history(document, BENCH_HISTORY_DIR)
 
 
 def load_fig2_results() -> dict:
-    """The current ``BENCH_fig2.json`` document (empty skeleton if absent).
-
-    ``bench-fig2/v2`` documents (no CPU-level dimension) are migrated in
-    place: every v2 entry was a cycle-level measurement.
-    """
-    if BENCH_FIG2_PATH.exists():
-        try:
-            document = json.loads(BENCH_FIG2_PATH.read_text())
-            if document.get("schema") == BENCH_FIG2_SCHEMA:
-                return document
-            if document.get("schema") == "bench-fig2/v2":
-                entries = {}
-                for key, entry in document.get("entries", {}).items():
-                    entry = dict(entry)
-                    entry.setdefault("cpu_level", CPU_CYCLE)
-                    entries[f"{key}/{entry['cpu_level']}"] = entry
-                return {"schema": BENCH_FIG2_SCHEMA, "entries": entries}
-        except (ValueError, AttributeError):
-            pass
-    return {"schema": BENCH_FIG2_SCHEMA, "entries": {}}
+    """The current ``BENCH_fig2.json`` document (empty skeleton if absent)."""
+    return _sweep.load_fig2_results(BENCH_FIG2_PATH)
 
 
 @pytest.fixture(scope="session")

@@ -136,7 +136,16 @@ def main(argv: list[str] | None = None) -> int:
                              "median of all prior snapshots")
     parser.add_argument("--strict", action="store_true",
                         help="exit non-zero when a regression is flagged")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="gate mode: flag configurations whose CPS "
+                             "fell more than PCT percent below the "
+                             "historical median and exit non-zero "
+                             "(shorthand for --threshold PCT/100 --strict)")
     args = parser.parse_args(argv)
+    if args.fail_on_regression is not None:
+        args.threshold = args.fail_on_regression / 100.0
+        args.strict = True
 
     if not args.current.is_file():
         print(f"no current results at {args.current}; nothing to compare")

@@ -8,6 +8,10 @@ from .metrics import (AggregatedSpeed, REFERENCE_BOOT_INSTRUCTIONS,
 from .registry import (EXECUTION_SEAMS, ExecutionSeam, TECHNIQUES, Technique,
                        cycle_accurate_techniques,
                        runtime_toggleable_techniques, seam_for, technique_for)
+from .sweep import (SweepCell, SweepReport, cell_sort_key, expand_matrix,
+                    load_fig2_results, merge_fig2_results,
+                    record_bench_history, record_fig2_results,
+                    result_sort_key, run_matrix_sweep, write_fig2_results)
 
 __all__ = [
     "AggregatedSpeed",
@@ -18,10 +22,21 @@ __all__ = [
     "Figure2Report",
     "REFERENCE_BOOT_INSTRUCTIONS",
     "SpeedMeasurement",
+    "SweepCell",
+    "SweepReport",
     "TECHNIQUES",
     "Technique",
     "VariantResult",
     "build_report",
+    "cell_sort_key",
+    "expand_matrix",
+    "load_fig2_results",
+    "merge_fig2_results",
+    "record_bench_history",
+    "record_fig2_results",
+    "result_sort_key",
+    "run_matrix_sweep",
+    "write_fig2_results",
     "cycle_accurate_techniques",
     "cycles_per_second",
     "format_duration",

@@ -16,9 +16,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from ..bus.transport import BUS_SIGNAL, bus_levels
-from ..iss.wrapper import CPU_CYCLE, cpu_levels
-from ..kernel.engine import ENGINE_GENERIC, engine_kinds
+from ..bus.transport import BUS_SIGNAL
+from ..iss.wrapper import CPU_CYCLE
+from ..kernel.engine import ENGINE_GENERIC
 from ..platform import (VanillaNetPlatform, VariantName,
                         PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
                         variant_config)
@@ -43,6 +43,12 @@ class ExperimentOptions:
     chunk_cycles: int = 250
     #: Hard cycle cap per window, as a safety net.
     max_cycles_per_phase: int = 400_000
+    #: Instructions executed before the first measured window, so every
+    #: window samples steady-state boot activity.  When a measurement is
+    #: warm-started from a snapshot, the snapshot was taken at exactly
+    #: this point; the serial path runs the warm-up itself, and either
+    #: way the measured windows see identical platform state.
+    warmup_instructions: int = 0
 
     def boot_params(self) -> BootParams:
         """The boot-workload parameters for this option set."""
@@ -129,13 +135,26 @@ class Figure2Experiment:
     def _measure_systemc(self, variant: VariantName,
                          engine: str = ENGINE_GENERIC,
                          bus_level: str = BUS_SIGNAL,
-                         cpu_level: str = CPU_CYCLE) -> VariantResult:
+                         cpu_level: str = CPU_CYCLE,
+                         snapshot=None) -> VariantResult:
         options = self.options
         platform = VanillaNetPlatform(variant_config(variant, engine=engine,
                                                      bus_level=bus_level,
                                                      cpu_level=cpu_level))
         program = build_boot_program(options.boot_params())
         platform.load_program(program)
+        # Warm start: either restore the snapshot taken at the warm-up
+        # point, or run the warm-up here.  Kernel counters are reported
+        # as the delta over the measured windows so both paths agree.
+        kernel_baseline = None
+        if snapshot is not None:
+            platform.restore_snapshot(snapshot)
+            kernel_baseline = platform.sim.stats.as_dict()
+        elif options.warmup_instructions > 0:
+            platform.run_instructions(options.warmup_instructions,
+                                      max_cycles=options.max_cycles_per_phase,
+                                      chunk_cycles=options.chunk_cycles)
+            kernel_baseline = platform.sim.stats.as_dict()
         speed = AggregatedSpeed(variant.value)
         stats = platform.statistics
         for phase_index in range(options.phases):
@@ -160,6 +179,11 @@ class Figure2Experiment:
                                         - effective_before),
                 phase=f"phase{phase_index}"))
         fraction = stats.function_fraction("memset", "memcpy")
+        kernel_counters = platform.sim.stats.as_dict()
+        if kernel_baseline is not None:
+            kernel_counters = {
+                name: value - kernel_baseline.get(name, 0)
+                for name, value in kernel_counters.items()}
         return VariantResult(
             variant=variant,
             speed=speed,
@@ -170,7 +194,7 @@ class Figure2Experiment:
             engine=engine,
             bus_level=bus_level,
             cpu_level=cpu_level,
-            kernel_counters=platform.sim.stats.as_dict(),
+            kernel_counters=kernel_counters,
         )
 
     def _measure_rtl(self, engine: str = ENGINE_GENERIC) -> VariantResult:
@@ -214,61 +238,91 @@ class Figure2Experiment:
         return [self.measure_variant(variant, engine=engine)
                 for variant in variants]
 
+    def run_matrix_sweep(self, variants=None, engines=None,
+                         bus_levels=None, cpu_levels=None,
+                         jobs: Optional[int] = None,
+                         timeout_s: Optional[float] = 600.0,
+                         retries: int = 1,
+                         use_snapshots: bool = True,
+                         progress=None):
+        """Measure a (variant x engine x bus x cpu) matrix in parallel.
+
+        Delegates to :func:`repro.core.sweep.run_matrix_sweep` with this
+        experiment's options; returns its
+        :class:`~repro.core.sweep.SweepReport`.  ``jobs=1`` runs every
+        cell inline; snapshots warm-start the cells whenever
+        ``options.warmup_instructions > 0``.
+        """
+        from .sweep import run_matrix_sweep
+        return run_matrix_sweep(options=self.options, variants=variants,
+                                engines=engines, bus_levels=bus_levels,
+                                cpu_levels=cpu_levels, jobs=jobs,
+                                timeout_s=timeout_s, retries=retries,
+                                use_snapshots=use_snapshots,
+                                progress=progress)
+
     def run_engine_comparison(
             self, variants: Optional[Sequence[VariantName]] = None,
-            engines: Optional[Sequence[str]] = None) -> list[VariantResult]:
+            engines: Optional[Sequence[str]] = None,
+            jobs: int = 1) -> list[VariantResult]:
         """Measure every requested variant on every requested engine.
 
         This produces the engine-ablation rows of the extended Figure 2
         table: the same model, same workload and same measurement windows,
-        differing only in the engine executing the model.
+        differing only in the engine executing the model.  Routed through
+        the sweep runner; ``jobs`` parallelises the cells.
         """
-        if variants is None:
-            variants = list(VariantName)
-        if engines is None:
-            engines = list(engine_kinds())
-        return [self.measure_variant(variant, engine=engine)
-                for variant in variants for engine in engines]
+        report = self.run_matrix_sweep(variants=variants, engines=engines,
+                                       bus_levels=[BUS_SIGNAL],
+                                       cpu_levels=[CPU_CYCLE], jobs=jobs)
+        report.raise_on_errors()
+        return report.results
 
     def run_bus_level_comparison(
             self, variants: Optional[Sequence[VariantName]] = None,
             levels: Optional[Sequence[str]] = None,
-            engine: str = ENGINE_GENERIC) -> list[VariantResult]:
+            engine: str = ENGINE_GENERIC,
+            jobs: int = 1) -> list[VariantResult]:
         """Measure every requested variant on every requested bus level.
 
         The bus-abstraction ablation: the same models, workloads and
         measurement windows, differing only in the interconnect fabric
         executing the OPB traffic.  The RTL HDL baseline is skipped (it has
-        no transport seam).
+        no transport seam).  Routed through the sweep runner; ``jobs``
+        parallelises the cells.
         """
         if variants is None:
-            variants = [variant for variant in VariantName
-                        if variant is not VariantName.RTL_HDL]
-        if levels is None:
-            levels = list(bus_levels())
-        return [self.measure_variant(variant, engine=engine,
-                                     bus_level=level)
-                for variant in variants for level in levels
-                if variant is not VariantName.RTL_HDL]
+            variants = list(VariantName)
+        variants = [variant for variant in variants
+                    if variant is not VariantName.RTL_HDL]
+        report = self.run_matrix_sweep(variants=variants,
+                                       engines=[engine],
+                                       bus_levels=levels,
+                                       cpu_levels=[CPU_CYCLE], jobs=jobs)
+        report.raise_on_errors()
+        return report.results
 
     def run_cpu_level_comparison(
             self, variants: Optional[Sequence[VariantName]] = None,
             levels: Optional[Sequence[str]] = None,
             engine: str = ENGINE_GENERIC,
-            bus_level: str = BUS_SIGNAL) -> list[VariantResult]:
+            bus_level: str = BUS_SIGNAL,
+            jobs: int = 1) -> list[VariantResult]:
         """Measure every requested variant on every requested CPU level.
 
         The CPU-abstraction ablation: the same models, workloads and
         measurement windows, differing only in how the ISS wrapper executes
         instructions (per-cycle thread versus temporally-decoupled time
         quanta).  The RTL HDL baseline is skipped (it has no ISS wrapper).
+        Routed through the sweep runner; ``jobs`` parallelises the cells.
         """
         if variants is None:
-            variants = [variant for variant in VariantName
-                        if variant is not VariantName.RTL_HDL]
-        if levels is None:
-            levels = list(cpu_levels())
-        return [self.measure_variant(variant, engine=engine,
-                                     bus_level=bus_level, cpu_level=level)
-                for variant in variants for level in levels
-                if variant is not VariantName.RTL_HDL]
+            variants = list(VariantName)
+        variants = [variant for variant in variants
+                    if variant is not VariantName.RTL_HDL]
+        report = self.run_matrix_sweep(variants=variants,
+                                       engines=[engine],
+                                       bus_levels=[bus_level],
+                                       cpu_levels=levels, jobs=jobs)
+        report.raise_on_errors()
+        return report.results

@@ -462,5 +462,13 @@ class Figure2Report:
 
 
 def build_report(results: Iterable[VariantResult]) -> Figure2Report:
-    """Convenience constructor."""
-    return Figure2Report(list(results))
+    """Convenience constructor.
+
+    Rows are sorted into canonical matrix order (variant-major, then
+    engine, bus level, cpu level) so every rendered table -- and
+    therefore every ``figure2_*_comparison.txt`` artifact -- is
+    byte-identical regardless of the order the measurements completed
+    in (serial run, parallel sweep, or any mix of the two).
+    """
+    from .sweep import result_sort_key
+    return Figure2Report(sorted(results, key=result_sort_key))

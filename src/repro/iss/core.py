@@ -13,6 +13,7 @@ SystemC module" (section 4).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -822,6 +823,67 @@ class MicroBlazeCore:
         def exec_generic():
             return handler(instruction)
         return exec_generic
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    #: Scalar ExecutionStatistics fields carried by a snapshot.  ``symbols``
+    #: is deliberately absent: the restoring platform re-attaches its own
+    #: symbol table when the program is reloaded.
+    _STAT_FIELDS = ("instructions_retired", "loads", "stores",
+                    "branches_taken", "interrupts_taken",
+                    "instructions_intercepted", "interception_hits",
+                    "cycles", "decoded_entries", "decoded_invalidations",
+                    "quantum_warps", "quantum_instructions")
+
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the full architectural + statistics state.
+
+        The decoded-program cache is *not* captured (its entries hold
+        compiled closures bound to this core); a restored core rebuilds it
+        deterministically on demand.
+        """
+        stats = self.stats
+        return {
+            "regs": list(self.regs._regs),
+            "msr": self.msr.value,
+            "pc": self.pc,
+            "ear": self.ear,
+            "esr": self.esr,
+            "halted": self.halted,
+            "interrupt_pending": self.interrupt_pending,
+            "imm_prefix": self._imm_prefix,
+            "branch_after_delay": self._branch_after_delay,
+            "stats": {name: getattr(stats, name)
+                      for name in self._STAT_FIELDS},
+            "per_mnemonic": dict(stats.per_mnemonic),
+            "per_function": dict(stats.per_function),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the state captured by :meth:`capture_state`.
+
+        Register contents are written *in place*: decoded-cache closures
+        bind ``regs._regs`` (and the MSR object) by identity, so the
+        containers themselves must never be replaced.
+        """
+        self.regs._regs[:] = state["regs"]
+        self.msr.value = state["msr"]
+        self.pc = state["pc"]
+        self.ear = state["ear"]
+        self.esr = state["esr"]
+        self.halted = state["halted"]
+        self.interrupt_pending = state["interrupt_pending"]
+        self._imm_prefix = state["imm_prefix"]
+        self._branch_after_delay = state["branch_after_delay"]
+        stats = self.stats
+        for name, value in state["stats"].items():
+            setattr(stats, name, value)
+        stats.per_mnemonic = Counter(state["per_mnemonic"])
+        stats.per_function = Counter(state["per_function"])
+        # Any decoded entries compiled against the pre-restore state are
+        # stale; drop them (they are rebuilt deterministically on demand).
+        self.clear_decoded_cache()
 
     # ------------------------------------------------------------------ #
     # debugging helpers

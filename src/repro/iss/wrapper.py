@@ -241,6 +241,59 @@ class MicroBlazeWrapper(Module):
         """Invalidate cached per-instruction fetch routing/timings."""
         self._route_epoch += 1
 
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the wrapper and its core.
+
+        Only valid at a *parked* point: the execute thread suspended on its
+        idle timeout (``finished`` set by a drained instruction budget or a
+        reached halt address), so the generator frame holds no in-flight
+        bus transaction that would need to be serialized.
+        """
+        thread = self.main_process
+        event = thread._timeout_event
+        if not (thread._waiting_time and event._pending_kind == "timed"):
+            raise ModelError(
+                "snapshot requires the execute thread to be parked on its "
+                "idle timeout (run to a budget or halt first)")
+        return {
+            "finished": self.finished,
+            "max_instructions": self.max_instructions,
+            "halt_address": self.halt_address,
+            "route_epoch": self._route_epoch,
+            "fetched_word": self._fetched_word,
+            "load_value": self._load_value,
+            "instruction_cycles": self._instruction_cycles,
+            "wake_time_ps": event._pending_time,
+            "core": self.core.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output into a fresh wrapper.
+
+        Pre-starts the execute thread so its generator parks on the idle
+        timeout exactly as at capture time (the parked body touches no core
+        state while ``finished`` is set), injects the saved state, then
+        re-arms the idle wakeup at its absolute snapshot time.
+        """
+        thread = self.main_process
+        if thread._started:
+            raise ModelError("restore_state requires a fresh wrapper")
+        self.finished = True
+        self.max_instructions = None
+        thread.execute()
+        self.finished = state["finished"]
+        self.max_instructions = state["max_instructions"]
+        self.halt_address = state["halt_address"]
+        self._route_epoch = state["route_epoch"]
+        self._fetched_word = state["fetched_word"]
+        self._load_value = state["load_value"]
+        self._instruction_cycles = state["instruction_cycles"]
+        self.core.restore_state(state["core"])
+        event = thread._timeout_event
+        event.cancel()
+        event.notify(state["wake_time_ps"] - self.sim.time_ps)
+
     # -- the execute thread --------------------------------------------------------
     def _execute_thread(self):
         core = self.core

@@ -140,6 +140,21 @@ class ClockedEngine(SimulationEngine):
         return any(entry.next_edge_ps is not None and entry.clock._running
                    for entry in self._adopted)
 
+    def _clear_timed_state(self) -> None:
+        # Adopted clocks and edge plans survive a restore reset: the clock
+        # objects were re-created by fresh elaboration and their arithmetic
+        # edge state is re-aimed via restore_clock_edge.
+        self._buckets.clear()
+        self._bucket_heap.clear()
+
+    def restore_clock_edge(self, clock, next_edge_ps: int) -> None:
+        for entry in self._adopted:
+            if entry.clock is clock:
+                entry.next_edge_ps = next_edge_ps
+                return
+        raise KernelError(
+            f"restore_clock_edge: clock {clock.name!r} was never adopted")
+
     # ------------------------------------------------------------------ #
     # delta notifications: drop what nobody observes
     # ------------------------------------------------------------------ #

@@ -211,6 +211,43 @@ class SimulationEngine:
                 process._make_runnable()
         self._initialized = True
 
+    def restore_reset(self, time_ps: int, delta_count: int) -> None:
+        """Prepare a freshly elaborated engine for snapshot restoration.
+
+        Runs end-of-elaboration callbacks and marks the engine initialized
+        *without* seeding the initial runnable set (the snapshot was taken
+        from a quiescent platform whose processes are all parked waiting on
+        events), drops any construction-time queue contents, and jumps
+        simulation time to the snapshot point.  The restorer then re-arms
+        the timed notifications recorded in the snapshot.
+        """
+        if self._initialized:
+            raise KernelError("restore_reset() requires a fresh engine")
+        for callback in self._end_of_elaboration_callbacks:
+            callback()
+        self._initialized = True
+        self._runnable.clear()
+        self._update_queue.clear()
+        self._delta_events.clear()
+        self._clear_timed_state()
+        self.time_ps = time_ps
+        self.delta_count = delta_count
+        self._finished = False
+
+    def _clear_timed_state(self) -> None:
+        """Drop every queued timed notification (engine-specific storage)."""
+        raise NotImplementedError
+
+    def restore_clock_edge(self, clock, next_edge_ps: int) -> None:
+        """Re-arm a clock's next edge at an absolute time after a restore.
+
+        The generic path reschedules the clock's ``_edge`` callback on the
+        timed queue (the construction-time entry was dropped by
+        :meth:`restore_reset`); the clocked engine instead updates its
+        adopted-clock arithmetic state.
+        """
+        self.schedule_action(next_edge_ps - self.time_ps, clock._edge)
+
     def run(self, duration: "SimTime | int | None" = None) -> SimTime:
         """Advance the simulation.
 

@@ -62,6 +62,10 @@ class Simulator(SimulationEngine):
     def _has_timed_activity(self) -> bool:
         return bool(self._timed_queue)
 
+    def _clear_timed_state(self) -> None:
+        self._timed_queue.clear()
+        self._timed_seq = 0
+
     # -- time advance -------------------------------------------------------
     def _advance_time(self, end_time: Optional[int], stats) -> bool:
         if not self._timed_queue:

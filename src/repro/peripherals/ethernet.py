@@ -52,6 +52,22 @@ class EthernetMacProxy(OpbSlave):
         #: traffic is, motivating the gating optimisation).
         self.access_count = 0
 
+    # -- checkpoint / restore -----------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the proxy register file."""
+        return {
+            "registers": dict(self.registers),
+            "access_count": self.access_count,
+            "transactions": self.transactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.registers.clear()
+        self.registers.update(state["registers"])
+        self.access_count = state["access_count"]
+        self.transactions = state["transactions"]
+
     def read_register(self, offset: int, size: int) -> int:
         self.access_count += 1
         return self.registers.get(offset & 0xFFC, 0)

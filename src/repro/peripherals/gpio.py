@@ -56,3 +56,22 @@ class Gpio(OpbSlave):
     def set_inputs(self, value: int) -> None:
         """Drive the board-side inputs (test/benchmark helper)."""
         self.external_inputs = value & WORD_MASK
+
+    # -- checkpoint / restore -----------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the GPIO registers and history."""
+        return {
+            "data": self.data,
+            "tristate": self.tristate,
+            "external_inputs": self.external_inputs,
+            "output_history": list(self.output_history),
+            "transactions": self.transactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.data = state["data"]
+        self.tristate = state["tristate"]
+        self.external_inputs = state["external_inputs"]
+        self.output_history[:] = state["output_history"]
+        self.transactions = state["transactions"]

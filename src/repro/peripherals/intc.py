@@ -99,6 +99,23 @@ class InterruptController(OpbSlave):
             self.isr |= value
         self._update_output()
 
+    # -- checkpoint / restore ---------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the controller registers."""
+        return {
+            "isr": self.isr,
+            "ier": self.ier,
+            "mer": self.mer,
+            "transactions": self.transactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.isr = state["isr"]
+        self.ier = state["ier"]
+        self.mer = state["mer"]
+        self.transactions = state["transactions"]
+
     # -- behaviour --------------------------------------------------------------------
     def _poll_inputs(self) -> None:
         """Latch the level inputs into ISR each cycle and drive the output."""

@@ -91,6 +91,25 @@ class OpbTimer(OpbSlave):
             self.load_value = value & WORD_MASK
         # TCR is read-only.
 
+    # -- checkpoint / restore --------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the timer registers and counters."""
+        return {
+            "control": self.control,
+            "load_value": self.load_value,
+            "counter": self.counter,
+            "expirations": self.expirations,
+            "transactions": self.transactions,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.control = state["control"]
+        self.load_value = state["load_value"]
+        self.counter = state["counter"]
+        self.expirations = state["expirations"]
+        self.transactions = state["transactions"]
+
     # -- behaviour -----------------------------------------------------------------
     @property
     def enabled(self) -> bool:

@@ -27,6 +27,7 @@ from typing import Optional
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
 from ..kernel.engine import SimulationEngine
+from ..kernel.errors import ModelError
 from ..signals import Fifo, Signal
 
 
@@ -148,6 +149,70 @@ class UartLite(OpbSlave):
         if accepted and self.interrupt_enabled:
             self.interrupt.write(1)
         return accepted
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the UART, its FIFOs and its console.
+
+        With multicycle sleep active the transmit thread must be parked on
+        its timed sleep (the absolute wake time is captured); with
+        ``tx_sleep_cycles <= 1`` it parks on static clock sensitivity and
+        needs no re-arm.
+        """
+        thread = self._tx_thread
+        event = thread._timeout_event
+        if thread._waiting_time and event._pending_kind == "timed":
+            wake = event._pending_time
+        elif thread._waiting_static:
+            wake = None
+        else:
+            raise ModelError(
+                f"snapshot requires UART {self.name!r} transmit thread to "
+                f"be parked")
+        return {
+            "tx_items": list(self.tx_fifo._items),
+            "tx_written": self.tx_fifo.total_written,
+            "tx_read": self.tx_fifo.total_read,
+            "rx_items": list(self.rx_fifo._items),
+            "rx_written": self.rx_fifo.total_written,
+            "rx_read": self.rx_fifo.total_read,
+            "interrupt_enabled": self.interrupt_enabled,
+            "tx_thread_activations": self.tx_thread_activations,
+            "transactions": self.transactions,
+            "console_chars": list(self.console._chars),
+            "console_flushes": self.console.flush_count,
+            "wake_time_ps": wake,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output into a fresh UART.
+
+        Pre-starts the transmit thread on empty state (it drains nothing
+        and parks), then injects the saved FIFO/console contents and
+        re-arms the timed sleep at its absolute snapshot time.
+        """
+        thread = self._tx_thread
+        if thread._started:
+            raise ModelError("restore_state requires a fresh UART")
+        thread.execute()
+        self.tx_fifo._items.clear()
+        self.tx_fifo._items.extend(state["tx_items"])
+        self.tx_fifo.total_written = state["tx_written"]
+        self.tx_fifo.total_read = state["tx_read"]
+        self.rx_fifo._items.clear()
+        self.rx_fifo._items.extend(state["rx_items"])
+        self.rx_fifo.total_written = state["rx_written"]
+        self.rx_fifo.total_read = state["rx_read"]
+        self.interrupt_enabled = state["interrupt_enabled"]
+        self.tx_thread_activations = state["tx_thread_activations"]
+        self.transactions = state["transactions"]
+        self.console._chars[:] = state["console_chars"]
+        self.console.flush_count = state["console_flushes"]
+        wake = state["wake_time_ps"]
+        if wake is not None:
+            event = thread._timeout_event
+            event.cancel()
+            event.notify(wake - self.sim.time_ps)
 
     def _transmit_thread(self):
         """Drain the TX FIFO towards the console.

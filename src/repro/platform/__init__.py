@@ -4,6 +4,7 @@ from . import memory_map
 from .config import (ModelConfig, PAPER_EFFECTIVE_CPS_KHZ_CAPTURE,
                      PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
                      VariantName, all_systemc_variants, variant_config)
+from .snapshot import SimulationSnapshot
 from .vanillanet import VanillaNetPlatform
 
 __all__ = [
@@ -11,6 +12,7 @@ __all__ = [
     "PAPER_EFFECTIVE_CPS_KHZ_CAPTURE",
     "PAPER_FIGURE2_BOOT_MINUTES",
     "PAPER_FIGURE2_CPS_KHZ",
+    "SimulationSnapshot",
     "VanillaNetPlatform",
     "VariantName",
     "all_systemc_variants",

@@ -30,6 +30,7 @@ from ..signals import Clock
 from ..tracing import Tracer
 from .config import ModelConfig
 from . import memory_map as mm
+from . import snapshot as _snapshot
 
 
 class VanillaNetPlatform:
@@ -274,6 +275,26 @@ class VanillaNetPlatform:
             self.run_cycles(chunk_cycles)
         self.microblaze.set_instruction_budget(None)
         return self.clock.cycles - start
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+    # ------------------------------------------------------------------ #
+    def save_snapshot(self, variant: Optional[str] = None):
+        """Snapshot the parked platform state as plain picklable data.
+
+        Call right after :meth:`run_instructions` (or a cycle-bounded
+        run) returned; see :mod:`repro.platform.snapshot`.
+        """
+        return _snapshot.capture_snapshot(self, variant=variant)
+
+    def restore_snapshot(self, snapshot) -> None:
+        """Restore a :func:`save_snapshot` state into this fresh platform.
+
+        Requires :meth:`load_program` to have been called with the same
+        program the snapshot was taken from, and the simulation to never
+        have run.
+        """
+        _snapshot.restore_snapshot(self, snapshot)
 
     # ------------------------------------------------------------------ #
     # run-time optimisation toggles (paper section 5)
