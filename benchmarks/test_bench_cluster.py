@@ -1,0 +1,82 @@
+"""Multi-node cluster benchmark: the ping/echo workload across the seams.
+
+The cluster tentpole adds a second scenario next to the single-board
+boot: two (or more) VanillaNet nodes in one kernel exchanging frames
+over the Ethernet link, RX interrupts and all.  This benchmark times
+that workload on every engine x bus level x cpu level combination and
+renders the rows into ``figure2_cluster_comparison.txt`` -- a *new*
+artifact; the single-node Figure 2 reports and ``BENCH_fig2.json`` are
+deliberately untouched (their byte-identity across this PR is an
+acceptance criterion).
+
+Gates (correctness, not speed -- absolute numbers are host-dependent):
+
+* every combination finishes the workload within the cycle budget;
+* every combination reports bit-identical consoles, cycle counts and
+  frame counters (the differential-identity claim measured, not just
+  unit-tested);
+* a three-node switch run finishes and broadcasts to the bystander.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core import (ExperimentOptions, Figure2Experiment,
+                        format_cluster_table)
+
+RESULTS_PATH = pathlib.Path(__file__).resolve().parent.parent \
+    / "figure2_cluster_comparison.txt"
+
+OPTIONS = ExperimentOptions(instructions_per_phase=150, phases=2,
+                            boot_scale=0.4, chunk_cycles=200)
+
+PING_COUNT = 3
+
+
+def test_cluster_comparison_matrix(benchmark):
+    """Two-node ping/echo across all twelve seam combinations."""
+    experiment = Figure2Experiment(OPTIONS)
+
+    def run_matrix():
+        return experiment.run_cluster_comparison(nodes=2,
+                                                 ping_count=PING_COUNT)
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    table = format_cluster_table(results)
+    print("\n" + table + "\n")
+    RESULTS_PATH.write_text(table + "\n")
+    for result in results:
+        benchmark.extra_info[f"{result.key}_cps_khz"] = round(
+            result.cps_khz, 3)
+
+    assert all(result.finished for result in results)
+    # The measured rows must agree on everything but wall-clock time:
+    # the differential-identity contract, observed under load.
+    reference = results[0]
+    assert reference.consoles[0] == f"ping: {PING_COUNT} replies ok\n"
+    for result in results[1:]:
+        assert result.consoles == reference.consoles, result.key
+        assert result.cycles == reference.cycles, result.key
+        assert result.frames_switched == reference.frames_switched, \
+            result.key
+        assert result.frames_delivered == reference.frames_delivered, \
+            result.key
+
+
+def test_three_node_switch(benchmark):
+    """An N-port switch run: node 2 idles and overhears the broadcast."""
+    experiment = Figure2Experiment(OPTIONS)
+
+    def run_cluster():
+        return experiment.measure_cluster(nodes=3, ping_count=PING_COUNT)
+
+    result = benchmark.pedantic(run_cluster, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    benchmark.extra_info["cps_khz"] = round(result.cps_khz, 3)
+    benchmark.extra_info["frames_delivered"] = result.frames_delivered
+    assert result.finished
+    assert result.consoles[0] == f"ping: {PING_COUNT} replies ok\n"
+    # Every switched frame reaches both other ports on a 3-node hub.
+    assert result.frames_delivered == 2 * result.frames_switched

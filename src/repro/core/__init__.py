@@ -1,6 +1,7 @@
 """The paper's contribution: the modelling-style evaluation harness."""
 
-from .experiment import ExperimentOptions, Figure2Experiment, VariantResult
+from .experiment import (ClusterResult, ExperimentOptions, Figure2Experiment,
+                         VariantResult, format_cluster_table)
 from .figure2 import Figure2Report, build_report
 from .metrics import (AggregatedSpeed, REFERENCE_BOOT_INSTRUCTIONS,
                       SpeedMeasurement, cycles_per_second, format_duration,
@@ -15,6 +16,8 @@ from .sweep import (SweepCell, SweepReport, cell_sort_key, expand_matrix,
 
 __all__ = [
     "AggregatedSpeed",
+    "ClusterResult",
+    "format_cluster_table",
     "EXECUTION_SEAMS",
     "ExecutionSeam",
     "ExperimentOptions",

@@ -23,7 +23,8 @@ from ..platform import (VanillaNetPlatform, VariantName,
                         PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
                         variant_config)
 from ..rtl import RtlVanillaNetSystem
-from ..software import BootParams, build_boot_program, memory_exercise_program
+from ..software import (BootParams, build_boot_program,
+                        memory_exercise_program, ping_echo_programs)
 from .metrics import AggregatedSpeed, SpeedMeasurement
 
 
@@ -110,6 +111,49 @@ class VariantResult:
     def projected_boot_minutes(self) -> float:
         """Projected full-boot time, in minutes, at the measured speed."""
         return self.speed.projected_boot_seconds() / 60.0
+
+
+@dataclass
+class ClusterResult:
+    """Measured behaviour of one multi-node cluster configuration."""
+
+    node_count: int
+    engine: str
+    bus_level: str
+    cpu_level: str
+    finished: bool
+    cycles: int
+    wall_seconds: float
+    consoles: list[str] = field(default_factory=list)
+    frames_switched: int = 0
+    frames_delivered: int = 0
+
+    @property
+    def cps_khz(self) -> float:
+        """Simulated cluster cycles per wall second, in kHz."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.cycles / self.wall_seconds / 1e3
+
+    @property
+    def key(self) -> str:
+        return f"cluster{self.node_count}/{self.engine}" \
+               f"/{self.bus_level}/{self.cpu_level}"
+
+
+def format_cluster_table(results: Sequence["ClusterResult"]) -> str:
+    """The multi-node rows of the extended report: one line per seam combo."""
+    lines = [
+        f"{'configuration':<42} {'kcps':>8} {'cycles':>9} "
+        f"{'frames':>7} {'done':>5}",
+        "-" * 75,
+    ]
+    for result in results:
+        lines.append(
+            f"{result.key:<42} {result.cps_khz:>8.1f} {result.cycles:>9} "
+            f"{result.frames_delivered:>7} "
+            f"{'yes' if result.finished else 'NO':>5}")
+    return "\n".join(lines)
 
 
 class Figure2Experiment:
@@ -326,3 +370,68 @@ class Figure2Experiment:
                                        cpu_levels=levels, jobs=jobs)
         report.raise_on_errors()
         return report.results
+
+    # -- multi-node clusters -------------------------------------------------
+    def measure_cluster(self, nodes: int = 2,
+                        engine: str = ENGINE_GENERIC,
+                        bus_level: str = BUS_SIGNAL,
+                        cpu_level: str = CPU_CYCLE,
+                        variant: VariantName = VariantName.NATIVE_TYPES,
+                        ping_count: int = 3,
+                        max_cycles: int = 200_000) -> "ClusterResult":
+        """Run the ping/echo workload on an N-node cluster and time it.
+
+        Node 0 pings, node 1 echoes; further nodes idle on the switch and
+        only receive broadcast traffic.  The workload is the standing
+        multi-node scenario (ROADMAP "scenario diversity"), so its speed
+        is reported alongside the single-node Figure 2 rows.
+        """
+        from ..platform import VanillaNetCluster, cluster_config
+        from ..software import arithmetic_program
+
+        cluster = VanillaNetCluster(cluster_config(
+            nodes, variant=variant, engine=engine, bus_level=bus_level,
+            cpu_level=cpu_level))
+        ping, echo = ping_echo_programs(count=ping_count)
+        idle = [arithmetic_program() for _ in range(nodes - 2)]
+        cluster.load_programs([ping, echo, *idle])
+        started = time.perf_counter()
+        finished = cluster.run_until_halt(
+            max_cycles=max_cycles, chunk_cycles=self.options.chunk_cycles)
+        elapsed = time.perf_counter() - started
+        return ClusterResult(
+            node_count=nodes,
+            engine=engine,
+            bus_level=bus_level,
+            cpu_level=cpu_level,
+            finished=finished,
+            cycles=cluster.cycle_count,
+            wall_seconds=elapsed,
+            consoles=cluster.console_outputs(),
+            frames_switched=cluster.link.frames_switched,
+            frames_delivered=cluster.link.frames_delivered,
+        )
+
+    def run_cluster_comparison(
+            self, nodes: int = 2,
+            engines: Optional[Sequence[str]] = None,
+            bus_levels: Optional[Sequence[str]] = None,
+            cpu_levels: Optional[Sequence[str]] = None,
+            ping_count: int = 3) -> list["ClusterResult"]:
+        """Measure the cluster workload across the execution-seam matrix."""
+        from ..bus.transport import bus_levels as _all_bus_levels
+        from ..iss.wrapper import cpu_levels as _all_cpu_levels
+        from ..kernel.engine import engine_kinds as _all_engines
+
+        engines = list(engines) if engines else list(_all_engines())
+        bus_levels = list(bus_levels) if bus_levels \
+            else list(_all_bus_levels())
+        cpu_levels = list(cpu_levels) if cpu_levels \
+            else list(_all_cpu_levels())
+        return [self.measure_cluster(nodes, engine=engine,
+                                     bus_level=bus_level,
+                                     cpu_level=cpu_level,
+                                     ping_count=ping_count)
+                for engine in engines
+                for bus_level in bus_levels
+                for cpu_level in cpu_levels]

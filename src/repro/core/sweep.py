@@ -40,6 +40,7 @@ import signal as _signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -152,16 +153,32 @@ def _raise_job_timeout(signum, frame):
 
 
 def _call_with_timeout(work: Callable, timeout_s: Optional[float]):
-    """Run ``work()`` under a SIGALRM watchdog (no-op without SIGALRM)."""
+    """Run ``work()`` under a SIGALRM watchdog (no-op without SIGALRM).
+
+    Signal handlers and itimers are process-global, so the watchdog must
+    leave both exactly as it found them: a pre-existing ``ITIMER_REAL``
+    keeps running during the job and is re-armed with whatever time it
+    had left, and off the main thread (where ``signal.signal`` raises)
+    the job simply runs unguarded.
+    """
     if not timeout_s or timeout_s <= 0 or not hasattr(_signal, "SIGALRM"):
         return work()
-    previous = _signal.signal(_signal.SIGALRM, _raise_job_timeout)
-    _signal.setitimer(_signal.ITIMER_REAL, timeout_s)
+    if threading.current_thread() is not threading.main_thread():
+        return work()
+    previous_handler = _signal.signal(_signal.SIGALRM, _raise_job_timeout)
+    started = time.monotonic()
+    prior_value, prior_interval = _signal.setitimer(_signal.ITIMER_REAL,
+                                                    timeout_s)
     try:
         return work()
     finally:
-        _signal.setitimer(_signal.ITIMER_REAL, 0)
-        _signal.signal(_signal.SIGALRM, previous)
+        if prior_value:
+            elapsed = time.monotonic() - started
+            remaining = max(prior_value - elapsed, 1e-6)
+            _signal.setitimer(_signal.ITIMER_REAL, remaining, prior_interval)
+        else:
+            _signal.setitimer(_signal.ITIMER_REAL, 0)
+        _signal.signal(_signal.SIGALRM, previous_handler)
 
 
 def _boot_family_job(variant: VariantName, options: ExperimentOptions,

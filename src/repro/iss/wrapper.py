@@ -75,14 +75,21 @@ class QuantumContext:
     ``blocked`` latches permanently when an unknown edge-sensitive process
     exists (tracer, pin-level slave decoders, arbiter): the platform then
     simply stays on the per-cycle path.
+
+    ``ethernet`` opts the warp out *dynamically* while a network link is
+    attached to the MAC: another node may deliver a frame mid-quantum, and
+    the RX interrupt must land on exactly the cycle the per-cycle path
+    would take it on.  Unlike ``blocked`` this is not latched -- a
+    platform whose MAC is never linked keeps the full fast path.
     """
 
     def __init__(self, clock, uarts=(), timer=None, intc=None,
-                 extra_processes=()) -> None:
+                 extra_processes=(), ethernet=None) -> None:
         self.clock = clock
         self.uarts = tuple(uarts)
         self.timer = timer
         self.intc = intc
+        self.ethernet = ethernet
         self.extra_processes = tuple(
             process for process in extra_processes if process is not None)
         #: Latched when the platform can structurally never warp.
@@ -354,6 +361,11 @@ class MicroBlazeWrapper(Module):
         """Cheapest-first quiescence checks; may latch ``ctx.blocked``."""
         core = self.core
         if core.interrupt_pending:
+            return False
+        ethernet = ctx.ethernet
+        if ethernet is not None and ethernet.link is not None:
+            # Temporal decoupling is disabled on multi-node platforms:
+            # cross-node frame deliveries must interrupt on-cycle.
             return False
         # The next fetch must be servable without simulated time, otherwise
         # detaching and reverting every cycle would only add overhead.

@@ -1,14 +1,32 @@
-"""Ethernet MAC proxy.
+"""Ethernet MAC: register proxy, promoted to a functional frame MAC.
 
-Exactly as in the paper (section 4): "The SystemC model of Ethernet MAC is
-a proxy that implements only the OPB interface and peripheral control
-registers."  There is no frame transfer; reads and writes hit a small
-register file so the uClinux-style driver probe sequence completes, and an
-interrupt line exists so the interrupt controller wiring matches the
-platform diagram.
+The paper (section 4) models the Ethernet MAC as "a proxy that implements
+only the OPB interface and peripheral control registers" -- no frame
+transfer, just a small register file so the uClinux-style driver probe
+completes.  That behaviour is preserved *bit-identically* whenever no
+link is attached: reads and writes take exactly the original code path,
+so every single-node Figure 2 variant is unchanged.
+
+Attaching a :class:`~repro.platform.cluster.NetworkSwitch` (via
+``link.attach(mac)``) promotes the proxy into a functional MAC:
+
+* a TX staging FIFO filled word-by-word through ``TX_DATA`` and committed
+  to the link by writing the frame's byte length to ``TX_GO``,
+* an RX frame queue (depth :data:`EthernetMacProxy.RX_QUEUE_DEPTH`) read
+  word-by-word through ``RX_DATA`` after checking ``RX_LEN``, and
+  released with ``RX_ACK``,
+* a level interrupt through the platform ``intc`` (input
+  ``IRQ_ETHERNET``): asserted while the RX queue is non-empty and
+  ``CONTROL.RX_IE`` is set.
+
+``STATUS`` keeps its write-one-to-clear semantics; with a link attached
+bit 3 (``RX availability``) is derived from the queue and bit 4 reports a
+sticky RX overflow (frame dropped because the queue was full).
 """
 
 from __future__ import annotations
+
+from collections import deque
 
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
@@ -18,7 +36,7 @@ from ..signals import Signal
 
 
 class EthernetMacProxy(OpbSlave):
-    """Register-only stand-in for the OPB Ethernet MAC."""
+    """OPB Ethernet MAC: register proxy, functional when a link is attached."""
 
     latency = 1
 
@@ -29,6 +47,24 @@ class EthernetMacProxy(OpbSlave):
     REG_MAC_LOW = 0x0C
     REG_TX_STATUS = 0x10
     REG_RX_STATUS = 0x14
+    #: Frame-transfer registers, live only while a link is attached.
+    REG_TX_DATA = 0x18
+    REG_TX_GO = 0x1C
+    REG_RX_DATA = 0x20
+    REG_RX_LEN = 0x24
+    REG_RX_ACK = 0x28
+
+    #: CONTROL bit: raise the interrupt line while RX frames are queued.
+    CONTROL_RX_IE = 0x4
+    #: STATUS bit 3: at least one received frame is waiting (derived).
+    STATUS_RX_AVAILABLE = 0x8
+    #: STATUS bit 4: a frame was dropped on a full RX queue (sticky, W1C).
+    STATUS_RX_OVERFLOW = 0x10
+
+    #: Received frames queued before the MAC starts dropping.
+    RX_QUEUE_DEPTH = 8
+    #: Largest frame the TX staging FIFO accepts, in 32-bit words.
+    MAX_FRAME_WORDS = 380  # ~1520 bytes, an Ethernet MTU frame
 
     #: Status value reporting "link up, FIFOs empty" so the driver probes
     #: cleanly and then leaves the device alone.
@@ -51,14 +87,62 @@ class EthernetMacProxy(OpbSlave):
         #: Count of driver accesses (shows how rare this peripheral's
         #: traffic is, motivating the gating optimisation).
         self.access_count = 0
+        #: The attached :class:`NetworkSwitch` (None on single-node
+        #: platforms -- the register file then behaves exactly as the
+        #: paper's probe-only proxy).
+        self.link = None
+        #: Endpoint index on the link, assigned by ``link.attach``.
+        self.link_port: int | None = None
+        #: TX staging FIFO (words written through ``TX_DATA``).
+        self._tx_staging: list[int] = []
+        #: Received frames awaiting software, oldest first.
+        self._rx_frames: deque[bytes] = deque()
+        #: Word cursor into the head RX frame.
+        self._rx_cursor = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_dropped = 0
+
+    # -- link fabric interface ----------------------------------------------
+    def attach_link(self, link, port: int) -> None:
+        """Called by the link fabric; promotes the proxy to a full MAC."""
+        self.link = link
+        self.link_port = port
+
+    def deliver_frame(self, payload: bytes) -> None:
+        """Link-side delivery of one frame into the RX queue."""
+        if len(self._rx_frames) >= self.RX_QUEUE_DEPTH:
+            self.frames_dropped += 1
+            self.registers[self.REG_STATUS] |= self.STATUS_RX_OVERFLOW
+            return
+        self._rx_frames.append(payload)
+        self.frames_received += 1
+        self.registers[self.REG_RX_STATUS] = self.frames_received & WORD_MASK
+        self._update_interrupt()
+
+    @property
+    def rx_interrupt_enabled(self) -> bool:
+        return bool(self.registers[self.REG_CONTROL] & self.CONTROL_RX_IE)
+
+    def _update_interrupt(self) -> None:
+        level = 1 if (self._rx_frames and self.rx_interrupt_enabled) else 0
+        if self.interrupt._next != level:
+            self.interrupt.write(level)
 
     # -- checkpoint / restore -----------------------------------------------
     def capture_state(self) -> dict:
-        """Plain-data snapshot of the proxy register file."""
+        """Plain-data snapshot of the register file, FIFOs and interrupt."""
         return {
             "registers": dict(self.registers),
             "access_count": self.access_count,
             "transactions": self.transactions,
+            "interrupt_level": self.interrupt._current,
+            "tx_staging": list(self._tx_staging),
+            "rx_frames": [bytes(frame) for frame in self._rx_frames],
+            "rx_cursor": self._rx_cursor,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "frames_dropped": self.frames_dropped,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -67,16 +151,82 @@ class EthernetMacProxy(OpbSlave):
         self.registers.update(state["registers"])
         self.access_count = state["access_count"]
         self.transactions = state["transactions"]
+        # Older snapshots (pre frame support) carry only the register file.
+        level = state.get("interrupt_level", 0)
+        self.interrupt._current = level
+        self.interrupt._next = level
+        self._tx_staging = list(state.get("tx_staging", ()))
+        self._rx_frames = deque(bytes(frame)
+                                for frame in state.get("rx_frames", ()))
+        self._rx_cursor = state.get("rx_cursor", 0)
+        self.frames_sent = state.get("frames_sent", 0)
+        self.frames_received = state.get("frames_received", 0)
+        self.frames_dropped = state.get("frames_dropped", 0)
 
+    # -- register file -------------------------------------------------------
     def read_register(self, offset: int, size: int) -> int:
         self.access_count += 1
+        if self.link is not None:
+            return self._linked_read(offset & 0xFFC)
         return self.registers.get(offset & 0xFFC, 0)
 
     def write_register(self, offset: int, value: int, size: int) -> None:
         self.access_count += 1
         offset &= 0xFFC
+        if self.link is not None \
+                and offset in (self.REG_TX_DATA, self.REG_TX_GO,
+                               self.REG_RX_ACK, self.REG_CONTROL):
+            self._linked_write(offset, value & WORD_MASK)
+            return
         if offset == self.REG_STATUS:
             # Write-one-to-clear semantics for status bits.
             self.registers[self.REG_STATUS] &= ~value & WORD_MASK
             return
         self.registers[offset] = value & WORD_MASK
+
+    # -- frame protocol (link attached only) ---------------------------------
+    def _linked_read(self, offset: int) -> int:
+        if offset == self.REG_STATUS:
+            status = self.registers[self.REG_STATUS]
+            if self._rx_frames:
+                status |= self.STATUS_RX_AVAILABLE
+            return status
+        if offset == self.REG_RX_LEN:
+            return len(self._rx_frames[0]) if self._rx_frames else 0
+        if offset == self.REG_RX_DATA:
+            return self._pop_rx_word()
+        return self.registers.get(offset, 0)
+
+    def _linked_write(self, offset: int, value: int) -> None:
+        if offset == self.REG_CONTROL:
+            self.registers[self.REG_CONTROL] = value
+            self._update_interrupt()
+        elif offset == self.REG_TX_DATA:
+            if len(self._tx_staging) < self.MAX_FRAME_WORDS:
+                self._tx_staging.append(value)
+        elif offset == self.REG_TX_GO:
+            self._transmit(value)
+        elif offset == self.REG_RX_ACK:
+            if self._rx_frames:
+                self._rx_frames.popleft()
+            self._rx_cursor = 0
+            self._update_interrupt()
+
+    def _transmit(self, byte_length: int) -> None:
+        staged = b"".join(word.to_bytes(4, "big")
+                          for word in self._tx_staging)
+        self._tx_staging.clear()
+        length = min(byte_length, len(staged))
+        if length == 0:
+            return
+        self.frames_sent += 1
+        self.registers[self.REG_TX_STATUS] = self.frames_sent & WORD_MASK
+        self.link.transmit(self, staged[:length])
+
+    def _pop_rx_word(self) -> int:
+        if not self._rx_frames:
+            return 0
+        frame = self._rx_frames[0]
+        chunk = frame[self._rx_cursor:self._rx_cursor + 4]
+        self._rx_cursor += 4
+        return int.from_bytes(chunk.ljust(4, b"\x00"), "big")

@@ -1,6 +1,8 @@
 """Platform assembly: memory map, model configurations, the VanillaNet system."""
 
 from . import memory_map
+from .cluster import (ClusterConfig, ClusterSnapshot, EthernetLink,
+                      NetworkSwitch, VanillaNetCluster, cluster_config)
 from .config import (ModelConfig, PAPER_EFFECTIVE_CPS_KHZ_CAPTURE,
                      PAPER_FIGURE2_BOOT_MINUTES, PAPER_FIGURE2_CPS_KHZ,
                      VariantName, all_systemc_variants, variant_config)
@@ -8,7 +10,13 @@ from .snapshot import SimulationSnapshot
 from .vanillanet import VanillaNetPlatform
 
 __all__ = [
+    "ClusterConfig",
+    "ClusterSnapshot",
+    "EthernetLink",
     "ModelConfig",
+    "NetworkSwitch",
+    "VanillaNetCluster",
+    "cluster_config",
     "PAPER_EFFECTIVE_CPS_KHZ_CAPTURE",
     "PAPER_FIGURE2_BOOT_MINUTES",
     "PAPER_FIGURE2_CPS_KHZ",

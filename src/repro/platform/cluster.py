@@ -1,0 +1,318 @@
+"""Multi-node VanillaNet platforms linked by a frame-transferring network.
+
+The paper's model is a single-board system; the ROADMAP's "scenario
+diversity" item asks for N of those boards talking to each other so the
+interconnect fabrics see real cross-node traffic.  This module builds
+that cluster *inside one simulation kernel*:
+
+* :class:`NetworkSwitch` -- an N-port store-and-forward hub.  A MAC
+  commits a frame (``TX_GO``), the switch holds it for the configured
+  link latency and then delivers it to every other port's RX queue.
+* :class:`EthernetLink` -- the two-port special case (a point-to-point
+  cable between exactly two nodes).
+* :class:`VanillaNetCluster` -- N :class:`VanillaNetPlatform` instances
+  sharing one engine (each node keeps its own clock; the clocked engine
+  adopts all of them), their MACs attached to one switch, built from a
+  :func:`cluster_config` that mirrors ``variant_config``.
+
+Determinism contract: delivery order never depends on process activation
+order inside an evaluation phase.  Frames become visible ``latency``
+cycles after commit and are delivered sorted by ``(due time, source
+port, per-source sequence number, destination port)`` -- a key derived
+only from causally-ordered quantities -- so every engine x bus level x
+cpu level combination sees bit-identical traffic.
+
+Snapshots: :meth:`VanillaNetCluster.save_snapshot` captures every node
+plus the link state (in-flight frames with absolute delivery times);
+restore resets the shared kernel once, re-injects each node through
+:func:`~repro.platform.snapshot.restore_platform_state` and re-arms the
+pending deliveries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..bus import BUS_SIGNAL
+from ..iss import CPU_CYCLE
+from ..kernel import SimulationEngine, create_engine
+from ..kernel.engine import ENGINE_GENERIC
+from ..kernel.errors import ModelError
+from .config import ModelConfig, VariantName, variant_config
+from .vanillanet import VanillaNetPlatform
+from . import snapshot as _snapshot
+
+
+# ---------------------------------------------------------------------- #
+# the link fabric
+# ---------------------------------------------------------------------- #
+class NetworkSwitch:
+    """Store-and-forward hub connecting N Ethernet MACs.
+
+    Every committed frame is broadcast to all other ports after
+    ``latency_ps``.  Delivery happens in the kernel's timed phase, before
+    the coincident clock edge dispatches on either engine, and always in
+    the causal sort order documented in the module docstring.
+    """
+
+    def __init__(self, sim: SimulationEngine, name: str = "switch",
+                 latency_ps: int = 80_000) -> None:
+        if latency_ps <= 0:
+            raise ModelError("link latency must be positive: a zero-delay "
+                             "link would make delivery order depend on "
+                             "same-phase process activation order")
+        self.sim = sim
+        self.name = name
+        self.latency_ps = latency_ps
+        self.endpoints: list = []
+        #: In-flight frames: (due_ps, src_port, src_seq, dest_port, payload).
+        self._in_flight: list[tuple[int, int, int, int, bytes]] = []
+        #: Per-source-port commit sequence numbers (causal tiebreak).
+        self._port_seq: dict[int, int] = {}
+        self.frames_switched = 0
+        self.frames_delivered = 0
+
+    def attach(self, mac) -> int:
+        """Attach a MAC as the next endpoint; returns its port number."""
+        port = len(self.endpoints)
+        self.endpoints.append(mac)
+        self._port_seq[port] = 0
+        mac.attach_link(self, port)
+        return port
+
+    def transmit(self, mac, payload: bytes) -> None:
+        """Called by a MAC on ``TX_GO``; enqueues one frame per peer."""
+        src = mac.link_port
+        self._port_seq[src] += 1
+        seq = self._port_seq[src]
+        due = self.sim.time_ps + self.latency_ps
+        self.frames_switched += 1
+        for dest in range(len(self.endpoints)):
+            if dest != src:
+                self._in_flight.append((due, src, seq, dest, payload))
+        self.sim.schedule_action(self.latency_ps, self._deliver_due)
+
+    def _deliver_due(self) -> None:
+        """Deliver every frame that has reached its due time.
+
+        One wake is scheduled per commit, so a wake may find its frames
+        already delivered by an earlier coincident wake -- then it is a
+        no-op.  Sorting immediately before delivery makes the order
+        independent of the commit order within an evaluation phase.
+        """
+        now = self.sim.time_ps
+        due_now = [frame for frame in self._in_flight if frame[0] <= now]
+        if not due_now:
+            return
+        self._in_flight = [frame for frame in self._in_flight
+                           if frame[0] > now]
+        due_now.sort()
+        for _due, _src, _seq, dest, payload in due_now:
+            self.frames_delivered += 1
+            self.endpoints[dest].deliver_frame(payload)
+
+    # -- checkpoint / restore -------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the switch counters and in-flight frames."""
+        return {
+            "port_seq": dict(self._port_seq),
+            "frames_switched": self.frames_switched,
+            "frames_delivered": self.frames_delivered,
+            "in_flight": [(due, src, seq, dest, bytes(payload))
+                          for due, src, seq, dest, payload
+                          in self._in_flight],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output and re-arm deliveries."""
+        self._port_seq = dict(state["port_seq"])
+        self.frames_switched = state["frames_switched"]
+        self.frames_delivered = state["frames_delivered"]
+        self._in_flight = [(due, src, seq, dest, bytes(payload))
+                           for due, src, seq, dest, payload
+                           in state["in_flight"]]
+        now = self.sim.time_ps
+        for due in sorted({frame[0] for frame in self._in_flight}):
+            self.sim.schedule_action(max(due - now, 0), self._deliver_due)
+
+
+class EthernetLink(NetworkSwitch):
+    """A point-to-point cable: a :class:`NetworkSwitch` with exactly 2 ports."""
+
+    def attach(self, mac) -> int:
+        if len(self.endpoints) >= 2:
+            raise ModelError("an EthernetLink connects exactly two MACs; "
+                             "use NetworkSwitch for larger clusters")
+        return super().attach(mac)
+
+
+# ---------------------------------------------------------------------- #
+# configuration
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ClusterConfig:
+    """N per-node :class:`ModelConfig` plus the link parameters."""
+
+    node_configs: tuple[ModelConfig, ...]
+    link_latency_cycles: int = 8
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_configs)
+
+
+def cluster_config(n: int,
+                   variant: VariantName = VariantName.NATIVE_TYPES,
+                   engine: str = ENGINE_GENERIC,
+                   bus_level: str = BUS_SIGNAL,
+                   cpu_level: str = CPU_CYCLE,
+                   link_latency_cycles: int = 8) -> ClusterConfig:
+    """The :class:`ClusterConfig` for an N-node cluster.
+
+    Mirrors :func:`~repro.platform.config.variant_config`: ``engine``,
+    ``bus_level`` and ``cpu_level`` select the execution seams (shared by
+    every node -- they live in one kernel), ``variant`` picks the Figure 2
+    model style each node is built as.
+    """
+    if n < 2:
+        raise ModelError(f"a cluster needs at least 2 nodes, got {n}")
+    base = variant_config(variant, engine=engine, bus_level=bus_level,
+                          cpu_level=cpu_level)
+    nodes = tuple(base.with_updates(name=f"{base.name}-node{index}")
+                  for index in range(n))
+    return ClusterConfig(node_configs=nodes,
+                         link_latency_cycles=link_latency_cycles)
+
+
+# ---------------------------------------------------------------------- #
+# cluster snapshots
+# ---------------------------------------------------------------------- #
+@dataclass
+class ClusterSnapshot:
+    """Complete, picklable state of a parked :class:`VanillaNetCluster`."""
+
+    time_ps: int
+    delta_count: int
+    link: dict
+    nodes: tuple
+
+
+# ---------------------------------------------------------------------- #
+# the cluster
+# ---------------------------------------------------------------------- #
+class VanillaNetCluster:
+    """N VanillaNet nodes in one kernel, MACs joined by a network link."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        engines = {node.engine for node in config.node_configs}
+        if len(engines) != 1:
+            raise ModelError("all cluster nodes must run on the same "
+                             f"engine (one kernel), got {sorted(engines)}")
+        self.config = config
+        self.sim = create_engine(
+            config.node_configs[0].engine,
+            f"cluster[{config.node_count}x{config.node_configs[0].name}]")
+        self.nodes = [VanillaNetPlatform(node_config, sim=self.sim)
+                      for node_config in config.node_configs]
+        period_ps = self.nodes[0].clock.period_ps
+        latency_ps = config.link_latency_cycles * period_ps
+        link_class = EthernetLink if config.node_count == 2 \
+            else NetworkSwitch
+        self.link = link_class(self.sim, latency_ps=latency_ps)
+        for node in self.nodes:
+            self.link.attach(node.ethernet)
+
+    # -- software -------------------------------------------------------
+    def load_programs(self, programs: Sequence,
+                      halt_symbol: str = "_halt") -> None:
+        """Load one assembled program per node."""
+        if len(programs) != len(self.nodes):
+            raise ModelError(f"expected {len(self.nodes)} programs, "
+                             f"got {len(programs)}")
+        for node, program in zip(self.nodes, programs):
+            node.load_program(program, halt_symbol=halt_symbol)
+
+    # -- execution ------------------------------------------------------
+    def run_cycles(self, cycles: int) -> int:
+        """Advance the whole cluster by ``cycles`` bus clock cycles."""
+        return self.nodes[0].run_cycles(cycles)
+
+    def run_until_halt(self, max_cycles: int = 1_000_000,
+                       chunk_cycles: int = 2_000) -> bool:
+        """Run until every node reached its halt point.
+
+        Returns True when all nodes halted within ``max_cycles``.
+        """
+        start = self.cycle_count
+        while self.cycle_count - start < max_cycles:
+            if all(node.microblaze.finished for node in self.nodes):
+                return True
+            remaining = max_cycles - (self.cycle_count - start)
+            self.run_cycles(min(chunk_cycles, remaining))
+        return all(node.microblaze.finished for node in self.nodes)
+
+    def run_instructions(self, budget: int,
+                         max_cycles: int = 5_000_000,
+                         chunk_cycles: int = 2_000) -> int:
+        """Run until every node retired ``budget`` further instructions.
+
+        Parks every execute thread on its idle timeout -- the quiescent
+        point :meth:`save_snapshot` requires.  Returns elapsed cycles.
+        """
+        for node in self.nodes:
+            node.microblaze.set_instruction_budget(budget)
+        start = self.cycle_count
+        while not all(node.microblaze.finished for node in self.nodes) \
+                and self.cycle_count - start < max_cycles:
+            self.run_cycles(chunk_cycles)
+        for node in self.nodes:
+            node.microblaze.set_instruction_budget(None)
+        return self.cycle_count - start
+
+    # -- checkpoint / restore -------------------------------------------
+    def save_snapshot(self, variant: Optional[str] = None) -> ClusterSnapshot:
+        """Snapshot the parked cluster (all nodes + link) as plain data."""
+        nodes = tuple(_snapshot.capture_snapshot(node, variant=variant)
+                      for node in self.nodes)
+        return ClusterSnapshot(time_ps=self.sim.time_ps,
+                               delta_count=self.sim.delta_count,
+                               link=self.link.capture_state(),
+                               nodes=nodes)
+
+    def restore_snapshot(self, snapshot: ClusterSnapshot) -> None:
+        """Restore a cluster snapshot into this freshly built cluster.
+
+        Every node must have its program loaded (`load_programs`).  The
+        shared kernel is reset exactly once, then each node's state is
+        injected and the link's in-flight frames are re-armed.
+        """
+        if len(snapshot.nodes) != len(self.nodes):
+            raise ModelError(f"snapshot has {len(snapshot.nodes)} nodes, "
+                             f"cluster has {len(self.nodes)}")
+        for node in self.nodes:
+            if node.program is None:
+                raise ModelError("restore requires every node's program to "
+                                 "be loaded first")
+        self.sim.restore_reset(snapshot.time_ps, snapshot.delta_count)
+        for node, node_snapshot in zip(self.nodes, snapshot.nodes):
+            _snapshot.restore_platform_state(node, node_snapshot)
+        self.link.restore_state(snapshot.link)
+
+    # -- observability --------------------------------------------------
+    @property
+    def cycle_count(self) -> int:
+        """Simulated bus clock cycles (node clocks advance in lockstep)."""
+        return self.nodes[0].cycle_count
+
+    def console_outputs(self) -> list[str]:
+        """Per-node console UART text."""
+        return [node.console_output for node in self.nodes]
+
+    def architectural_states(self) -> list[dict]:
+        """Per-node register/PC/MSR state."""
+        return [node.architectural_state() for node in self.nodes]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VanillaNetCluster(nodes={len(self.nodes)}, "
+                f"cycles={self.cycle_count})")

@@ -327,11 +327,21 @@ def restore_snapshot(platform, snapshot: SimulationSnapshot) -> None:
     if platform.program is None:
         raise ModelError("restore requires the program to be loaded first "
                          "(snapshots do not carry the program image)")
-    sim = platform.sim
 
     # 1. Kernel: empty queues at the snapshot time.
-    sim.restore_reset(snapshot.time_ps, snapshot.delta_count)
+    platform.sim.restore_reset(snapshot.time_ps, snapshot.delta_count)
 
+    restore_platform_state(platform, snapshot)
+
+
+def restore_platform_state(platform, snapshot: SimulationSnapshot) -> None:
+    """Inject a snapshot's component state (steps 2-8 of the restore).
+
+    Split out from :func:`restore_snapshot` because
+    ``SimulationEngine.restore_reset`` may run only once per engine: a
+    multi-node cluster resets its shared kernel once and then calls this
+    per node (see :mod:`repro.platform.cluster`).
+    """
     # 2. Clock: phase, edge counters and the absolute next-edge time.
     _restore_clock(platform, snapshot.clock)
 

@@ -200,7 +200,8 @@ class VanillaNetPlatform:
                     uarts=(self.console_uart, self.debug_uart),
                     timer=self.timer,
                     intc=self.intc,
-                    extra_processes=extra_processes),
+                    extra_processes=extra_processes,
+                    ethernet=self.ethernet),
                 quantum_instructions=config.quantum_instructions)
 
         # -- tracing -----------------------------------------------------------------------

@@ -4,6 +4,8 @@ from .bootgen import (BOOT_PHASES, BootImage, BootParams, boot_source,
                       build_boot_image, build_boot_program)
 from .clib import (MEMCPY_LOOP_INSTRUCTIONS_PER_BYTE,
                    MEMSET_LOOP_INSTRUCTIONS_PER_BYTE, clib_source)
+from .netboot import (DEFAULT_PAYLOAD, echo_program, echo_source,
+                      ping_echo_programs, ping_program, ping_source)
 from .programs import (arithmetic_program, arithmetic_source,
                        gpio_blink_program, gpio_blink_source, hello_program,
                        hello_source, interrupt_program, interrupt_source,
@@ -14,6 +16,7 @@ __all__ = [
     "BootImage",
     "BootParams",
     "MEMCPY_LOOP_INSTRUCTIONS_PER_BYTE",
+    "DEFAULT_PAYLOAD",
     "MEMSET_LOOP_INSTRUCTIONS_PER_BYTE",
     "arithmetic_program",
     "arithmetic_source",
@@ -21,6 +24,8 @@ __all__ = [
     "build_boot_image",
     "build_boot_program",
     "clib_source",
+    "echo_program",
+    "echo_source",
     "gpio_blink_program",
     "gpio_blink_source",
     "hello_program",
@@ -29,4 +34,7 @@ __all__ = [
     "interrupt_source",
     "memory_exercise_program",
     "memory_exercise_source",
+    "ping_echo_programs",
+    "ping_program",
+    "ping_source",
 ]

@@ -1,0 +1,223 @@
+"""Ping/echo firmware for the multi-node cluster workload.
+
+Two bare-metal images exercising the functional Ethernet MAC end to end
+(:mod:`repro.platform.cluster`):
+
+* **ping** (node 0) stages a payload into the MAC's TX FIFO, commits the
+  frame, sleeps on the RX interrupt until the echoed copy returns,
+  checksums it, and repeats ``count`` times.  It prints a verdict line on
+  its console and leaves ``(reply checksum, replies seen)`` in
+  ``result``.
+* **echo** (node 1) sleeps on the RX interrupt, bounces every received
+  frame back word for word with the same byte length, and halts after
+  ``count`` frames, printing a completion line.
+
+Both images take the RX interrupt through the platform ``intc`` (input
+``IRQ_ETHERNET``) with the same vector-table layout as
+:func:`~repro.software.programs.interrupt_source`.  The handler masks
+the MAC's level source (``CONTROL.RX_IE``), acknowledges the controller
+and bumps ``rx_count``; the main loop does the actual FIFO work and then
+re-enables the interrupt -- the classic top-half/bottom-half split.
+"""
+
+from __future__ import annotations
+
+from ..datatypes import WORD_MASK
+from ..isa.assembler import Program, assemble
+from ..platform import memory_map as mm
+from .clib import clib_source
+from .programs import BRAM_STACK_TOP
+
+#: Default ping payload (words); arbitrary but recognisable values.
+DEFAULT_PAYLOAD = (0xDEAD_BEEF, 0x0BAD_CAFE, 0x1234_5678, 0x0000_0042)
+
+#: IER bit mask for the Ethernet MAC's interrupt-controller input.
+_ETHERNET_IER = 1 << mm.IRQ_ETHERNET
+
+
+def _interrupt_prologue() -> str:
+    """Vector table + intc/MAC interrupt setup shared by both images."""
+    return f"""
+_reset:
+    brai    _start
+    .org {mm.BRAM_BASE + 0x10:#x}
+_ivec:
+    brai    irq_handler
+    .org {mm.BRAM_BASE + 0x20:#x}
+_start:
+    li      r1, {BRAM_STACK_TOP:#x}
+    # interrupt controller: enable the ethernet input, master enable
+    li      r20, {mm.INTC_BASE:#x}
+    addik   r5, r0, {_ETHERNET_IER:#x}
+    swi     r5, r20, 0x08       # IER: ethernet
+    addik   r5, r0, 3
+    swi     r5, r20, 0x1C       # MER: master + hardware enable
+    # MAC base lives in r26 (clib clobbers r20-r23)
+    li      r26, {mm.ETHERNET_BASE:#x}
+    addik   r5, r0, 0x4
+    swi     r5, r26, 0x00       # CONTROL: RX interrupt enable
+    msrset  r0, 0x2
+    addik   r25, r0, 0          # frames completed
+"""
+
+
+def _irq_handler() -> str:
+    """Top half: mask the MAC's level source, ack the intc, count."""
+    return f"""
+irq_handler:
+    swi     r5, r1, -4
+    swi     r20, r1, -8
+    # mask the MAC RX interrupt (level source) before acknowledging
+    li      r20, {mm.ETHERNET_BASE:#x}
+    swi     r0, r20, 0x00       # CONTROL: clear RX_IE
+    li      r20, {mm.INTC_BASE:#x}
+    addik   r5, r0, {_ETHERNET_IER:#x}
+    swi     r5, r20, 0x0C       # IAR
+    # rx_count += 1 (the bottom half drains the FIFO)
+    li      r20, rx_count
+    lwi     r5, r20, 0
+    addik   r5, r5, 1
+    swi     r5, r20, 0
+    lwi     r20, r1, -8
+    lwi     r5, r1, -4
+    rtid    r14, 0
+    nop
+"""
+
+
+def ping_source(payload=DEFAULT_PAYLOAD, count: int = 2) -> str:
+    """Node-0 image: send ``count`` pings, verify the echoed replies."""
+    payload = tuple(word & WORD_MASK for word in payload)
+    if not payload:
+        raise ValueError("ping payload must contain at least one word")
+    byte_length = 4 * len(payload)
+    expected = (count * sum(payload)) & WORD_MASK
+    payload_words = ", ".join(f"{word:#x}" for word in payload)
+    return _interrupt_prologue() + f"""
+    addik   r27, r0, 0          # accumulated reply checksum
+ping_loop:
+    # stage the payload and commit the frame
+    li      r22, payload
+    addik   r23, r0, {len(payload)}
+stage_loop:
+    lwi     r5, r22, 0
+    swi     r5, r26, 0x18       # TX_DATA
+    addik   r22, r22, 4
+    addik   r23, r23, -1
+    bnei    r23, stage_loop
+    addik   r5, r0, {byte_length}
+    swi     r5, r26, 0x1C       # TX_GO
+wait_reply:
+    li      r22, rx_count
+    lwi     r23, r22, 0
+    rsub    r24, r25, r23       # frames seen - frames completed
+    beqi    r24, wait_reply
+    # drain the reply and checksum it
+    lwi     r28, r26, 0x24      # RX_LEN (bytes)
+    addik   r29, r28, 3
+    bsrli   r29, r29, 2         # word count
+    addik   r30, r0, 0
+read_loop:
+    lwi     r5, r26, 0x20       # RX_DATA
+    add     r30, r30, r5
+    addik   r29, r29, -1
+    bnei    r29, read_loop
+    swi     r0, r26, 0x28       # RX_ACK: release the frame
+    addik   r5, r0, 0x4
+    swi     r5, r26, 0x00       # CONTROL: re-enable the RX interrupt
+    add     r27, r27, r30
+    addik   r25, r25, 1
+    addik   r24, r25, -{count}
+    bnei    r24, ping_loop
+    # done: report and print the verdict
+    msrclr  r0, 0x2
+    li      r20, result
+    swi     r27, r20, 0
+    swi     r25, r20, 4
+    li      r24, {expected:#x}
+    rsub    r5, r24, r27
+    bnei    r5, ping_bad
+    li      r5, ok_msg
+    brlid   r15, puts
+    nop
+    bri     _halt
+ping_bad:
+    li      r5, bad_msg
+    brlid   r15, puts
+    nop
+    bri     _halt
+_halt:
+    bri     _halt
+""" + _irq_handler() + clib_source() + f"""
+    .align 4
+rx_count:
+    .word 0
+result:
+    .word 0, 0
+payload:
+    .word {payload_words}
+ok_msg:
+    .asciiz "ping: {count} replies ok\\n"
+bad_msg:
+    .asciiz "ping: reply checksum bad\\n"
+"""
+
+
+def echo_source(count: int = 2) -> str:
+    """Node-1 image: bounce ``count`` frames back, then halt."""
+    return _interrupt_prologue() + f"""
+echo_wait:
+    li      r22, rx_count
+    lwi     r23, r22, 0
+    rsub    r24, r25, r23       # frames seen - frames completed
+    beqi    r24, echo_wait
+    # bounce the head frame back word for word
+    lwi     r28, r26, 0x24      # RX_LEN (bytes)
+    addik   r29, r28, 3
+    bsrli   r29, r29, 2         # word count
+echo_loop:
+    lwi     r5, r26, 0x20       # RX_DATA
+    swi     r5, r26, 0x18       # TX_DATA
+    addik   r29, r29, -1
+    bnei    r29, echo_loop
+    swi     r28, r26, 0x1C      # TX_GO: same byte length
+    swi     r0, r26, 0x28       # RX_ACK
+    addik   r5, r0, 0x4
+    swi     r5, r26, 0x00       # CONTROL: re-enable the RX interrupt
+    addik   r25, r25, 1
+    addik   r24, r25, -{count}
+    bnei    r24, echo_wait
+    msrclr  r0, 0x2
+    li      r20, result
+    swi     r25, r20, 0
+    li      r5, done_msg
+    brlid   r15, puts
+    nop
+    bri     _halt
+_halt:
+    bri     _halt
+""" + _irq_handler() + clib_source() + f"""
+    .align 4
+rx_count:
+    .word 0
+result:
+    .word 0
+done_msg:
+    .asciiz "echo: {count} frames bounced\\n"
+"""
+
+
+def ping_program(payload=DEFAULT_PAYLOAD, count: int = 2) -> Program:
+    """Assembled ping image (BRAM resident)."""
+    return assemble(ping_source(payload, count), origin=mm.BRAM_BASE)
+
+
+def echo_program(count: int = 2) -> Program:
+    """Assembled echo image (BRAM resident)."""
+    return assemble(echo_source(count), origin=mm.BRAM_BASE)
+
+
+def ping_echo_programs(payload=DEFAULT_PAYLOAD, count: int = 2) \
+        -> tuple[Program, Program]:
+    """The (ping, echo) image pair for a two-node cluster."""
+    return ping_program(payload, count), echo_program(count)

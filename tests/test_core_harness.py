@@ -1,8 +1,13 @@
 """Tests of the evaluation harness: metrics, registry, experiment, report."""
 
+import signal
+import threading
+import time
+
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.core.sweep import _JobTimeout, _call_with_timeout
 from repro.core import (AggregatedSpeed, ExperimentOptions, Figure2Experiment,
                         REFERENCE_BOOT_INSTRUCTIONS, SpeedMeasurement,
                         TECHNIQUES, build_report, cycle_accurate_techniques,
@@ -218,3 +223,52 @@ class TestExperimentHarness:
         initial = mini_report.result_for(VariantName.INITIAL)
         rtl = mini_report.result_for(VariantName.RTL_HDL)
         assert rtl.process_count > initial.process_count
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGALRM"),
+                    reason="needs SIGALRM (POSIX)")
+class TestJobWatchdog:
+    """The sweep watchdog must leave the process signal state untouched."""
+
+    def test_timeout_interrupts_the_job(self):
+        with pytest.raises(_JobTimeout):
+            _call_with_timeout(lambda: time.sleep(5.0), 0.05)
+
+    def test_result_passes_through(self):
+        assert _call_with_timeout(lambda: 42, 5.0) == 42
+        assert _call_with_timeout(lambda: "no watchdog", None) \
+            == "no watchdog"
+
+    def test_restores_remaining_time_of_prior_itimer(self):
+        fired = []
+        previous = signal.signal(signal.SIGALRM,
+                                 lambda signum, frame: fired.append(1))
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 30.0)
+            assert _call_with_timeout(lambda: "ok", 0.5) == "ok"
+            remaining, interval = signal.getitimer(signal.ITIMER_REAL)
+            # The pre-existing timer is re-armed with its remaining time
+            # (the buggy version cancelled it: remaining == 0).
+            assert 0 < remaining <= 30.0
+            assert interval == 0
+            assert signal.getsignal(signal.SIGALRM) is not None
+            assert not fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_off_main_thread_runs_unguarded(self):
+        # signal.signal raises ValueError off the main thread; the
+        # watchdog must degrade to a plain call instead.
+        outcome = {}
+
+        def run():
+            try:
+                outcome["result"] = _call_with_timeout(lambda: 7, 0.5)
+            except Exception as error:   # pragma: no cover - the bug
+                outcome["error"] = error
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join()
+        assert outcome == {"result": 7}

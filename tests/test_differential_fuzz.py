@@ -1,0 +1,241 @@
+"""Standing differential-fuzz gate across every execution seam.
+
+The repo has three independent execution seams -- ``engine``
+(generic/clocked kernel), ``bus_level`` (signal/transaction/functional
+fabric) and ``cpu_level`` (per-cycle/quantum ISS) -- and the standing
+claim that all twelve combinations are *bit-identical* observers of the
+same architecture: same registers, same console bytes, same cycle
+counts.  Hand-written identity tests (test_cpu_levels,
+test_bus_transport) pin known-interesting programs; this module keeps
+the claim honest against programs nobody wrote:
+
+* a fixed two-node ping/echo run, the acceptance gate for the cluster
+  tentpole (frame traffic + RX interrupts through every seam combo);
+* hypothesis-generated straight-line instruction streams on a single
+  node;
+* hypothesis-generated frame traffic (payload shapes x ping counts) on
+  a two-node cluster.
+
+Reproducing a failure: hypothesis prints the falsifying example and a
+``reproduce_failure`` blob on stderr, and stores it in ``.hypothesis/``
+(the CI fuzz job uploads that directory as an artifact).  Re-running the
+same example locally:
+
+    PYTHONPATH=src python -m pytest tests/test_differential_fuzz.py \
+        --hypothesis-seed=<seed printed by the failing run>
+
+The example budget is deliberately small under tier-1 (this file is a
+gate, not a soak) and raised in the dedicated CI fuzz job through
+``REPRO_FUZZ_EXAMPLES``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.bus import bus_levels
+from repro.datatypes import WORD_MASK
+from repro.iss import cpu_levels
+from repro.kernel import ENGINE_CLOCKED, ENGINE_GENERIC
+from repro.isa.assembler import assemble
+from repro.platform import (VanillaNetCluster, VanillaNetPlatform,
+                            VariantName, cluster_config, memory_map as mm,
+                            variant_config)
+from repro.software import ping_echo_programs
+from repro.software.clib import clib_source
+from repro.software.programs import BRAM_STACK_TOP
+
+#: Per-test example budget; the CI fuzz job raises it well above the
+#: tier-1 default.
+MAX_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "3"))
+
+#: Every engine x bus_level x cpu_level combination (12 as of this PR).
+COMBOS = [(engine, bus_level, cpu_level)
+          for engine in (ENGINE_GENERIC, ENGINE_CLOCKED)
+          for bus_level in bus_levels()
+          for cpu_level in cpu_levels()]
+
+FUZZ_SETTINGS = settings(
+    max_examples=MAX_EXAMPLES,
+    deadline=None,                      # platform builds take ~1s
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def combo_id(combo) -> str:
+    return "/".join(combo)
+
+
+def observe_platform(platform) -> dict:
+    """Everything the identity claim quantifies over, single node."""
+    return {
+        "registers": platform.architectural_state(),
+        "console": platform.console_output,
+        "instructions": platform.statistics.instructions_retired,
+        "cycles": platform.statistics.cycles,
+        "sim_cycles": platform.cycle_count,
+    }
+
+
+def observe_cluster(cluster) -> dict:
+    return {
+        "states": cluster.architectural_states(),
+        "consoles": cluster.console_outputs(),
+        "sim_cycles": cluster.cycle_count,
+        "frames_switched": cluster.link.frames_switched,
+        "frames_delivered": cluster.link.frames_delivered,
+    }
+
+
+def assert_identical(results: dict) -> None:
+    """All per-combo observations equal the first combo's observation."""
+    reference_combo = COMBOS[0]
+    reference = results[reference_combo]
+    for combo, result in results.items():
+        assert result == reference, (
+            f"{combo_id(combo)} diverges from {combo_id(reference_combo)}")
+
+
+# ---------------------------------------------------------------------- #
+# the deterministic acceptance gate: 2-node ping/echo, all 12 combos
+# ---------------------------------------------------------------------- #
+class TestClusterSeamIdentity:
+    def test_two_node_ping_echo_identical_on_every_combo(self):
+        results = {}
+        for engine, bus_level, cpu_level in COMBOS:
+            cluster = VanillaNetCluster(cluster_config(
+                2, engine=engine, bus_level=bus_level, cpu_level=cpu_level))
+            cluster.load_programs(ping_echo_programs(count=2))
+            finished = cluster.run_until_halt(max_cycles=100_000)
+            assert finished, combo_id((engine, bus_level, cpu_level))
+            results[engine, bus_level, cpu_level] = observe_cluster(cluster)
+        reference = results[COMBOS[0]]
+        assert reference["consoles"] == ["ping: 2 replies ok\n",
+                                         "echo: 2 frames bounced\n"]
+        assert reference["frames_delivered"] == 4
+        assert_identical(results)
+
+
+# ---------------------------------------------------------------------- #
+# fuzzed straight-line instruction streams, single node
+# ---------------------------------------------------------------------- #
+#: General registers the generated stream may touch.  r0 is the zero
+#: register, r1 the stack, r13 the scratch base, r14/r15 link registers,
+#: r20-r23 are clib-clobbered -- the stream works in r2..r12.
+STREAM_REGS = tuple(range(2, 13))
+
+_reg = st.sampled_from(STREAM_REGS)
+_imm16 = st.integers(min_value=-32768, max_value=32767)
+_uimm16 = st.integers(min_value=0, max_value=0xFFFF)
+_shift = st.integers(min_value=0, max_value=31)
+_offset = st.sampled_from(range(0, 64, 4))
+
+_three_reg = st.tuples(
+    st.sampled_from(["add", "rsub", "and", "or", "xor", "mul"]),
+    _reg, _reg, _reg,
+).map(lambda t: f"{t[0]:<7} r{t[1]}, r{t[2]}, r{t[3]}")
+
+_reg_imm = st.one_of(
+    st.tuples(st.just("addik"), _reg, _reg, _imm16),
+    st.tuples(st.sampled_from(["andi", "ori", "xori"]), _reg, _reg, _uimm16),
+).map(lambda t: f"{t[0]:<7} r{t[1]}, r{t[2]}, {t[3]}")
+
+_shift_imm = st.tuples(
+    st.sampled_from(["bslli", "bsrai", "bsrli"]), _reg, _reg, _shift,
+).map(lambda t: f"{t[0]:<7} r{t[1]}, r{t[2]}, {t[3]}")
+
+_extend = st.tuples(
+    st.sampled_from(["sext8", "sext16"]), _reg, _reg,
+).map(lambda t: f"{t[0]:<7} r{t[1]}, r{t[2]}")
+
+#: Loads and stores go through the bus fabrics under test -- the most
+#: seam-sensitive instructions in the pool.  The scratch buffer keeps
+#: them at safe, word-aligned addresses.
+_memory = st.tuples(
+    st.sampled_from(["swi", "lwi"]), _reg, _offset,
+).map(lambda t: f"{t[0]:<7} r{t[1]}, r13, {t[2]}")
+
+_instruction = st.one_of(_three_reg, _reg_imm, _shift_imm, _extend, _memory)
+
+#: One register seed per stream register (loaded before the stream runs).
+_seeds = st.lists(_imm16, min_size=len(STREAM_REGS),
+                  max_size=len(STREAM_REGS))
+
+_stream = st.lists(_instruction, min_size=1, max_size=40)
+
+
+def stream_program(seeds, stream):
+    """Assemble a straight-line stream into a bootable BRAM image.
+
+    The epilogue routes one stream-derived byte through the console UART
+    so the fuzz also differentiates the interrupt-driven print path, and
+    then halts -- no branches inside the generated window.
+    """
+    seed_lines = "\n".join(
+        f"    addik   r{reg}, r0, {value}"
+        for reg, value in zip(STREAM_REGS, seeds))
+    body = "\n".join(f"    {line}" for line in stream)
+    source = f"""
+_start:
+    li      r1, {BRAM_STACK_TOP:#x}
+    li      r13, scratch
+{seed_lines}
+{body}
+    andi    r5, r3, 0x3F
+    addik   r5, r5, 0x20        # printable ASCII
+    brlid   r15, putchar
+    nop
+    bri     _halt
+_halt:
+    bri     _halt
+""" + clib_source() + """
+    .align 4
+scratch:
+    .space 64
+"""
+    return assemble(source, origin=mm.BRAM_BASE)
+
+
+class TestInstructionStreamFuzz:
+    @FUZZ_SETTINGS
+    @given(seeds=_seeds, stream=_stream)
+    def test_streams_identical_on_every_combo(self, seeds, stream):
+        program = stream_program(seeds, stream)
+        results = {}
+        for engine, bus_level, cpu_level in COMBOS:
+            platform = VanillaNetPlatform(variant_config(
+                VariantName.NATIVE_TYPES, engine=engine,
+                bus_level=bus_level, cpu_level=cpu_level))
+            platform.load_program(program)
+            finished = platform.run_until_halt(max_cycles=50_000,
+                                               chunk_cycles=1_000)
+            assert finished, combo_id((engine, bus_level, cpu_level))
+            results[engine, bus_level, cpu_level] = observe_platform(platform)
+        assert_identical(results)
+
+
+# ---------------------------------------------------------------------- #
+# fuzzed frame traffic, two-node cluster
+# ---------------------------------------------------------------------- #
+_payload = st.lists(st.integers(min_value=0, max_value=WORD_MASK),
+                    min_size=1, max_size=8)
+_ping_count = st.integers(min_value=1, max_value=3)
+
+
+class TestTrafficPatternFuzz:
+    @FUZZ_SETTINGS
+    @given(payload=_payload, count=_ping_count)
+    def test_traffic_identical_on_every_combo(self, payload, count):
+        programs = ping_echo_programs(payload=tuple(payload), count=count)
+        results = {}
+        for engine, bus_level, cpu_level in COMBOS:
+            cluster = VanillaNetCluster(cluster_config(
+                2, engine=engine, bus_level=bus_level, cpu_level=cpu_level))
+            cluster.load_programs(programs)
+            finished = cluster.run_until_halt(max_cycles=150_000)
+            assert finished, combo_id((engine, bus_level, cpu_level))
+            results[engine, bus_level, cpu_level] = observe_cluster(cluster)
+        reference = results[COMBOS[0]]
+        assert reference["consoles"][0] == f"ping: {count} replies ok\n"
+        assert reference["frames_switched"] == 2 * count
+        assert_identical(results)

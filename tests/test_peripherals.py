@@ -1,7 +1,7 @@
 """Unit tests for the peripherals, memory models and the dispatcher."""
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.kernel.errors import AddressError, AlignmentError
 from repro.peripherals import (ConsoleSink, MemoryDispatcher, MemoryMap,
@@ -322,3 +322,120 @@ class TestConsoleIntegration:
         platform.run_until_halt(max_cycles=300_000)
         assert "ping" in platform.console.text
         assert platform.console.flush_count >= 4
+
+
+class _StubLink:
+    """Captures frames a MAC commits, without any switch or timing."""
+
+    def __init__(self):
+        self.frames = []
+
+    def transmit(self, mac, payload):
+        self.frames.append(bytes(payload))
+
+
+class TestEthernetMacRegisters:
+    """Register semantics of the (unlinked) proxy, the paper's model."""
+
+    def test_status_write_one_to_clear(self):
+        mac = build_platform().ethernet
+        assert mac.read_register(mac.REG_STATUS, 4) == mac._DEFAULT_STATUS
+        mac.write_register(mac.REG_STATUS, 0x1, 4)
+        assert mac.read_register(mac.REG_STATUS, 4) == 0x4
+        mac.write_register(mac.REG_STATUS, 0xFFFF_FFFF, 4)
+        assert mac.read_register(mac.REG_STATUS, 4) == 0
+
+    def test_offset_masking_folds_sub_word_and_high_bits(self):
+        mac = build_platform().ethernet
+        # Byte offsets within a word fold onto the word register.
+        assert mac.read_register(mac.REG_MAC_LOW | 0x2, 4) \
+            == mac.registers[mac.REG_MAC_LOW]
+        # Offsets beyond 0xFFC wrap into the register window.
+        mac.write_register(0x1000 | mac.REG_CONTROL, 0x55, 4)
+        assert mac.registers[mac.REG_CONTROL] == 0x55
+        # Unbacked offsets read as zero.
+        assert mac.read_register(0x800, 4) == 0
+
+    def test_access_count_tracks_every_access(self):
+        mac = build_platform().ethernet
+        assert mac.access_count == 0
+        mac.read_register(mac.REG_STATUS, 4)
+        mac.read_register(0x200, 4)
+        mac.write_register(mac.REG_STATUS, 0, 4)
+        mac.write_register(mac.REG_CONTROL, 1, 4)
+        assert mac.access_count == 4
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF))
+    @settings(deadline=None, max_examples=25)
+    def test_write_then_read_any_value(self, value):
+        mac = build_platform().ethernet
+        mac.write_register(mac.REG_MAC_HIGH, value, 4)
+        assert mac.read_register(mac.REG_MAC_HIGH, 4) \
+            == value & 0xFFFF_FFFF
+
+
+class TestEthernetMacFrames:
+    """Frame protocol, live only once a link is attached."""
+
+    def make_mac(self):
+        mac = build_platform().ethernet
+        link = _StubLink()
+        mac.attach_link(link, 0)
+        return mac, link
+
+    def test_unlinked_frame_registers_are_plain_storage(self):
+        mac = build_platform().ethernet
+        mac.write_register(mac.REG_TX_DATA, 0x11, 4)
+        mac.write_register(mac.REG_TX_GO, 4, 4)
+        assert mac.registers[mac.REG_TX_GO] == 4
+        assert mac.frames_sent == 0
+
+    def test_tx_stages_words_and_commits_byte_length(self):
+        mac, link = self.make_mac()
+        mac.write_register(mac.REG_TX_DATA, 0xDEAD_BEEF, 4)
+        mac.write_register(mac.REG_TX_DATA, 0x0BAD_CAFE, 4)
+        mac.write_register(mac.REG_TX_GO, 6, 4)
+        assert link.frames == [b"\xDE\xAD\xBE\xEF\x0B\xAD"]
+        assert mac.frames_sent == 1
+        assert mac.read_register(mac.REG_TX_STATUS, 4) == 1
+        # The staging FIFO is consumed by the commit.
+        mac.write_register(mac.REG_TX_GO, 4, 4)
+        assert len(link.frames) == 1
+
+    def test_rx_queue_read_ack_and_status(self):
+        mac, _ = self.make_mac()
+        assert mac.read_register(mac.REG_RX_LEN, 4) == 0
+        mac.deliver_frame(b"\x01\x02\x03\x04\x05")
+        assert mac.read_register(mac.REG_STATUS, 4) \
+            & mac.STATUS_RX_AVAILABLE
+        assert mac.read_register(mac.REG_RX_LEN, 4) == 5
+        assert mac.read_register(mac.REG_RX_DATA, 4) == 0x0102_0304
+        # The tail word is zero-padded.
+        assert mac.read_register(mac.REG_RX_DATA, 4) == 0x0500_0000
+        mac.write_register(mac.REG_RX_ACK, 1, 4)
+        assert mac.read_register(mac.REG_RX_LEN, 4) == 0
+        assert not (mac.read_register(mac.REG_STATUS, 4)
+                    & mac.STATUS_RX_AVAILABLE)
+
+    def test_rx_interrupt_level_follows_queue_and_enable(self):
+        mac, _ = self.make_mac()
+        mac.deliver_frame(b"\x01\x02\x03\x04")
+        # RX_IE clear: frames queue silently.
+        assert mac.interrupt._next == 0
+        mac.write_register(mac.REG_CONTROL, mac.CONTROL_RX_IE, 4)
+        assert mac.interrupt._next == 1
+        mac.write_register(mac.REG_CONTROL, 0, 4)
+        assert mac.interrupt._next == 0
+
+    def test_rx_overflow_drops_and_sets_sticky_bit(self):
+        mac, _ = self.make_mac()
+        for index in range(mac.RX_QUEUE_DEPTH + 2):
+            mac.deliver_frame(bytes([index, 0, 0, 0]))
+        assert mac.frames_received == mac.RX_QUEUE_DEPTH
+        assert mac.frames_dropped == 2
+        status = mac.read_register(mac.REG_STATUS, 4)
+        assert status & mac.STATUS_RX_OVERFLOW
+        # Sticky until software clears it (write-one-to-clear).
+        mac.write_register(mac.REG_STATUS, mac.STATUS_RX_OVERFLOW, 4)
+        assert not (mac.read_register(mac.REG_STATUS, 4)
+                    & mac.STATUS_RX_OVERFLOW)

@@ -201,3 +201,45 @@ class TestErrorPaths:
         stale.run_instructions(WARM, chunk_cycles=200)
         with pytest.raises(KernelError):
             stale.restore_snapshot(snapshot)
+
+
+class TestEthernetInterruptLevel:
+    """Regression: capture/restore must carry the MAC interrupt level.
+
+    The proxy's original ``capture_state`` returned only the register
+    file, so a snapshot taken with the RX interrupt line asserted
+    restored with it deasserted -- the restored run then never took the
+    pending interrupt.
+    """
+
+    def test_peripheral_state_roundtrips_asserted_line(self):
+        source = build_platform().ethernet
+        source.interrupt.force(1)
+        state = source.capture_state()
+        assert state["interrupt_level"] == 1
+
+        target = build_platform().ethernet
+        assert target.interrupt.value == 0
+        target.restore_state(state)
+        assert target.interrupt.value == 1
+
+    def test_linked_fifo_state_roundtrips(self):
+        class _StubLink:
+            def transmit(self, mac, payload):
+                pass
+
+        source = build_platform().ethernet
+        source.attach_link(_StubLink(), 0)
+        source.write_register(source.REG_CONTROL, source.CONTROL_RX_IE, 4)
+        source.deliver_frame(b"\x01\x02\x03\x04\x05\x06")
+        source.read_register(source.REG_RX_DATA, 4)   # advance the cursor
+        source.write_register(source.REG_TX_DATA, 0xAABB_CCDD, 4)
+        state = source.capture_state()
+
+        target = build_platform().ethernet
+        target.attach_link(_StubLink(), 0)
+        target.restore_state(state)
+        assert target.read_register(target.REG_RX_LEN, 4) == 6
+        assert target.read_register(target.REG_RX_DATA, 4) == 0x0506_0000
+        assert target._tx_staging == [0xAABB_CCDD]
+        assert target.frames_received == 1
