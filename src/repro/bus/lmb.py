@@ -12,6 +12,7 @@ optimisations matter.)
 
 from __future__ import annotations
 
+from ..kernel.component import SimComponent
 from ..kernel.errors import AddressError
 from ..peripherals.memory import MemoryStorage
 
@@ -23,7 +24,7 @@ BRAM_SIZE = 0x2000          # 8 KB
 LMB_ACCESS_CYCLES = 1
 
 
-class LocalMemoryBus:
+class LocalMemoryBus(SimComponent):
     """Single-cycle path between the MicroBlaze and the BRAM."""
 
     def __init__(self, bram: MemoryStorage | None = None) -> None:
@@ -57,6 +58,19 @@ class LocalMemoryBus:
     def access_count(self) -> int:
         """Total LMB transactions."""
         return self.reads + self.writes
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Direction-split access counters (the BRAM is a child)."""
+        return {"reads": self.reads, "writes": self.writes}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.reads = state["reads"]
+        self.writes = state["writes"]
+
+    def state_children(self) -> dict:
+        return {"bram": self.bram}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"LocalMemoryBus(bram={self.bram.size:#x} bytes, "

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..datatypes import byte_lane_mask
+from ..kernel.component import SimComponent
 from ..kernel.errors import ModelError
 from ..kernel.events import Event
 from ..kernel.module import Module
@@ -39,7 +40,7 @@ DATA_MASTER = 2
 _TRANSFER_TIMEOUT_CYCLES = 1024
 
 
-class OpbMasterPort:
+class OpbMasterPort(SimComponent):
     """Master-side helper that runs OPB transfers as generators.
 
     The owning thread process must be statically sensitive to the bus clock
@@ -100,8 +101,20 @@ class OpbMasterPort:
         self.cycles_spent += cycles
         return read_value, cycles
 
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Per-master transfer statistics (no transfer is ever in flight
+        at a snapshot's parked point)."""
+        return {"transfer_count": self.transfer_count,
+                "cycles_spent": self.cycles_spent}
 
-class OpbArbiter(Module):
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.transfer_count = state["transfer_count"]
+        self.cycles_spent = state["cycles_spent"]
+
+
+class OpbArbiter(Module, SimComponent):
     """Bus arbiter and address/control multiplexer.
 
     One method (or thread, per the model configuration) scheduled every
@@ -137,6 +150,20 @@ class OpbArbiter(Module):
         """Register an address range whose slave is woken explicitly."""
         self._gated_ranges.append((base_address, base_address + size,
                                    wake_event))
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Grant statistics (no transfer is in flight when parked)."""
+        return {
+            "transactions_granted": self.transactions_granted,
+            "per_master_transactions": dict(self.per_master_transactions),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.transactions_granted = state["transactions_granted"]
+        self.per_master_transactions.clear()
+        self.per_master_transactions.update(state["per_master_transactions"])
 
     # -- the per-cycle process -------------------------------------------------
     def _arbitrate(self) -> None:
@@ -179,7 +206,7 @@ class OpbArbiter(Module):
                     break
 
 
-class OpbSlave(Module):
+class OpbSlave(Module, SimComponent):
     """Base class for OPB-attached peripherals.
 
     Subclasses implement :meth:`read_register` and :meth:`write_register`
@@ -376,6 +403,15 @@ class OpbSlave(Module):
 
     def write_register(self, offset: int, value: int, size: int) -> None:
         """Register write hook; subclasses override."""
+
+    # -- checkpoint / restore ----------------------------------------------------
+    def capture_state(self) -> dict:
+        """Transaction counter; register peripherals override and extend."""
+        return {"transactions": self.transactions}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.transactions = state["transactions"]
 
     # -- dispatcher support (sections 5.1 / 5.2) -----------------------------------
     def detach(self) -> None:

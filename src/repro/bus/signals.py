@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..datatypes import LogicVector
+from ..kernel.component import SCOPE_BUS_LEVEL, SimComponent
 from ..kernel.engine import SimulationEngine
 from ..signals import DataMode, make_signal
 
@@ -151,7 +152,7 @@ class OpbBusSignals:
 
 
 @dataclass
-class OpbInterconnect:
+class OpbInterconnect(SimComponent):
     """Everything the platform wires together: bus + both master bundles."""
 
     bus: OpbBusSignals
@@ -159,6 +160,10 @@ class OpbInterconnect:
     data_master: OpbMasterSignals
     mode: DataMode = DataMode.NATIVE
     extra: dict = field(default_factory=dict)
+
+    #: Pin-level wire state only exists at the signal abstraction level; a
+    #: snapshot crossing bus levels skips this subtree.
+    state_scope = SCOPE_BUS_LEVEL
 
     @classmethod
     def create(cls, sim: SimulationEngine, mode: DataMode,
@@ -182,3 +187,7 @@ class OpbInterconnect:
             for name, signal in bundle.all_signals().items():
                 result[f"{prefix}.{name}"] = signal
         return result
+
+    def state_children(self) -> dict:
+        """Every wire, so the snapshot tree walk reaches all of them."""
+        return self.all_signals()

@@ -63,6 +63,7 @@ output, same register state, same cycle count.
 from __future__ import annotations
 
 from ..datatypes import byte_lane_mask
+from ..kernel.component import SCOPE_BUS_LEVEL, SimComponent
 from ..kernel.errors import ModelError
 from .opb import DATA_MASTER, INSTRUCTION_MASTER, OpbMasterPort
 
@@ -98,7 +99,7 @@ def protocol_transfer_cycles(latency: int, gated: bool = False) -> int:
     return REQUEST_TO_GRANT_CYCLES + slave_cycles + ACK_TO_MASTER_CYCLES
 
 
-class BusTransport:
+class BusTransport(SimComponent):
     """The transport seam between bus masters and an interconnect fabric.
 
     Masters issue transfers as generators -- ``value, cycles = yield from
@@ -115,6 +116,10 @@ class BusTransport:
     """
 
     kind = "abstract"
+
+    #: Fabric counters mirror protocol activity at one abstraction level;
+    #: they do not transfer across bus levels (see ``kernel/component.py``).
+    state_scope = SCOPE_BUS_LEVEL
 
     def __init__(self) -> None:
         #: Slaves attached to this fabric, in registration order.
@@ -168,6 +173,23 @@ class BusTransport:
         through the timed transfer path.
         """
         return None
+
+    # -- checkpoint / restore -------------------------------------------------
+    def capture_state(self) -> dict:
+        """Base transfer counters (subclasses add their own)."""
+        return {
+            "kind": self.kind,
+            "transfer_count": self.transfer_count,
+            "cycles_spent": self.cycles_spent,
+            "per_master_transfers": dict(self.per_master_transfers),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the counters (``kind`` is informational only)."""
+        self.transfer_count = state["transfer_count"]
+        self.cycles_spent = state["cycles_spent"]
+        self.per_master_transfers.clear()
+        self.per_master_transfers.update(state["per_master_transfers"])
 
     # -- statistics -----------------------------------------------------------
     def _account(self, master_id: int, cycles: int) -> None:
@@ -270,6 +292,19 @@ class TransactionFabric(BusTransport):
             + (0 if slave.gated else slave.latency)
         return self.clock.period_ps * pre_access, pre_access
 
+    # -- checkpoint / restore -------------------------------------------------
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["transactions_granted"] = self.transactions_granted
+        state["per_master_transactions"] = dict(self.per_master_transactions)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.transactions_granted = state["transactions_granted"]
+        self.per_master_transactions.clear()
+        self.per_master_transactions.update(state["per_master_transactions"])
+
     # -- transfers ------------------------------------------------------------
     def read(self, master_id: int, address: int, size: int = 4):
         byte_lane_mask(address, size)       # alignment validation
@@ -340,6 +375,18 @@ class FunctionalFabric(TransactionFabric):
             if base <= address < end and not slave.detached:
                 return storage, slave
         return None, None
+
+    # -- checkpoint / restore -------------------------------------------------
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["dmi_hits"] = self.dmi_hits
+        state["target_accesses"] = self.target_accesses
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.dmi_hits = state["dmi_hits"]
+        self.target_accesses = state["target_accesses"]
 
     def read(self, master_id: int, address: int, size: int = 4):
         byte_lane_mask(address, size)

@@ -3,6 +3,7 @@
 from .experiment import (ClusterResult, ExperimentOptions, Figure2Experiment,
                          VariantResult, format_cluster_table)
 from .figure2 import Figure2Report, build_report
+from .job import JobSpec, ResultCache, canonical_json
 from .metrics import (AggregatedSpeed, REFERENCE_BOOT_INSTRUCTIONS,
                       SpeedMeasurement, cycles_per_second, format_duration,
                       speedup, to_khz)
@@ -23,7 +24,9 @@ __all__ = [
     "ExperimentOptions",
     "Figure2Experiment",
     "Figure2Report",
+    "JobSpec",
     "REFERENCE_BOOT_INSTRUCTIONS",
+    "ResultCache",
     "SpeedMeasurement",
     "SweepCell",
     "SweepReport",
@@ -31,6 +34,7 @@ __all__ = [
     "Technique",
     "VariantResult",
     "build_report",
+    "canonical_json",
     "cell_sort_key",
     "expand_matrix",
     "load_fig2_results",

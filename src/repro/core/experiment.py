@@ -288,14 +288,18 @@ class Figure2Experiment:
                          timeout_s: Optional[float] = 600.0,
                          retries: int = 1,
                          use_snapshots: bool = True,
-                         progress=None):
+                         progress=None,
+                         cache_dir=None):
         """Measure a (variant x engine x bus x cpu) matrix in parallel.
 
         Delegates to :func:`repro.core.sweep.run_matrix_sweep` with this
         experiment's options; returns its
         :class:`~repro.core.sweep.SweepReport`.  ``jobs=1`` runs every
         cell inline; snapshots warm-start the cells whenever
-        ``options.warmup_instructions > 0``.
+        ``options.warmup_instructions > 0``; ``cache_dir`` enables the
+        content-addressed result cache (cells whose
+        :class:`~repro.core.job.JobSpec` is already cached are served
+        without simulating).
         """
         from .sweep import run_matrix_sweep
         return run_matrix_sweep(options=self.options, variants=variants,
@@ -303,22 +307,24 @@ class Figure2Experiment:
                                 cpu_levels=cpu_levels, jobs=jobs,
                                 timeout_s=timeout_s, retries=retries,
                                 use_snapshots=use_snapshots,
-                                progress=progress)
+                                progress=progress, cache_dir=cache_dir)
 
     def run_engine_comparison(
             self, variants: Optional[Sequence[VariantName]] = None,
             engines: Optional[Sequence[str]] = None,
-            jobs: int = 1) -> list[VariantResult]:
+            jobs: int = 1, cache_dir=None) -> list[VariantResult]:
         """Measure every requested variant on every requested engine.
 
         This produces the engine-ablation rows of the extended Figure 2
         table: the same model, same workload and same measurement windows,
         differing only in the engine executing the model.  Routed through
-        the sweep runner; ``jobs`` parallelises the cells.
+        the sweep runner; ``jobs`` parallelises the cells and
+        ``cache_dir`` serves repeated cells from the result cache.
         """
         report = self.run_matrix_sweep(variants=variants, engines=engines,
                                        bus_levels=[BUS_SIGNAL],
-                                       cpu_levels=[CPU_CYCLE], jobs=jobs)
+                                       cpu_levels=[CPU_CYCLE], jobs=jobs,
+                                       cache_dir=cache_dir)
         report.raise_on_errors()
         return report.results
 
@@ -326,14 +332,15 @@ class Figure2Experiment:
             self, variants: Optional[Sequence[VariantName]] = None,
             levels: Optional[Sequence[str]] = None,
             engine: str = ENGINE_GENERIC,
-            jobs: int = 1) -> list[VariantResult]:
+            jobs: int = 1, cache_dir=None) -> list[VariantResult]:
         """Measure every requested variant on every requested bus level.
 
         The bus-abstraction ablation: the same models, workloads and
         measurement windows, differing only in the interconnect fabric
         executing the OPB traffic.  The RTL HDL baseline is skipped (it has
         no transport seam).  Routed through the sweep runner; ``jobs``
-        parallelises the cells.
+        parallelises the cells and ``cache_dir`` serves repeated cells
+        from the result cache.
         """
         if variants is None:
             variants = list(VariantName)
@@ -342,7 +349,8 @@ class Figure2Experiment:
         report = self.run_matrix_sweep(variants=variants,
                                        engines=[engine],
                                        bus_levels=levels,
-                                       cpu_levels=[CPU_CYCLE], jobs=jobs)
+                                       cpu_levels=[CPU_CYCLE], jobs=jobs,
+                                       cache_dir=cache_dir)
         report.raise_on_errors()
         return report.results
 
@@ -351,14 +359,15 @@ class Figure2Experiment:
             levels: Optional[Sequence[str]] = None,
             engine: str = ENGINE_GENERIC,
             bus_level: str = BUS_SIGNAL,
-            jobs: int = 1) -> list[VariantResult]:
+            jobs: int = 1, cache_dir=None) -> list[VariantResult]:
         """Measure every requested variant on every requested CPU level.
 
         The CPU-abstraction ablation: the same models, workloads and
         measurement windows, differing only in how the ISS wrapper executes
         instructions (per-cycle thread versus temporally-decoupled time
         quanta).  The RTL HDL baseline is skipped (it has no ISS wrapper).
-        Routed through the sweep runner; ``jobs`` parallelises the cells.
+        Routed through the sweep runner; ``jobs`` parallelises the cells
+        and ``cache_dir`` serves repeated cells from the result cache.
         """
         if variants is None:
             variants = list(VariantName)
@@ -367,7 +376,8 @@ class Figure2Experiment:
         report = self.run_matrix_sweep(variants=variants,
                                        engines=[engine],
                                        bus_levels=[bus_level],
-                                       cpu_levels=levels, jobs=jobs)
+                                       cpu_levels=levels, jobs=jobs,
+                                       cache_dir=cache_dir)
         report.raise_on_errors()
         return report.results
 

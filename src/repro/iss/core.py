@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from ..datatypes import (WORD_MASK, get_field, mask, sign_extend, to_signed,
                          truncate)
+from ..kernel.component import SimComponent
 from ..kernel.errors import ModelError
 from ..isa import encoding as enc
 from ..isa.decoder import DecodeCache, DecodedEntry, Instruction
@@ -44,7 +45,23 @@ class StepResult:
     memory_is_store: bool = False
 
 
-class MicroBlazeCore:
+class DecodedCacheState(SimComponent):
+    """State-protocol face of a core's decoded-program cache.
+
+    The cache entries hold compiled closures bound to their core's register
+    file and cannot be serialized; the component therefore captures nothing
+    and restoring simply invalidates the cache so a restored core rebuilds
+    its entries deterministically on demand.
+    """
+
+    def __init__(self, core: "MicroBlazeCore") -> None:
+        self._core = core
+
+    def restore_state(self, state: dict) -> None:
+        self._core.clear_decoded_cache()
+
+
+class MicroBlazeCore(SimComponent):
     """Architectural state and instruction semantics of the MicroBlaze."""
 
     def __init__(self,
@@ -80,6 +97,7 @@ class MicroBlazeCore:
         #: Address-keyed decoded-program cache (the temporally-decoupled
         #: fast path's working set; see :meth:`build_decoded`).
         self._decoded: dict[int, DecodedEntry] = {}
+        self._decoded_state = DecodedCacheState(self)
 
     # ------------------------------------------------------------------ #
     # control
@@ -884,6 +902,9 @@ class MicroBlazeCore:
         # Any decoded entries compiled against the pre-restore state are
         # stale; drop them (they are rebuilt deterministically on demand).
         self.clear_decoded_cache()
+
+    def state_children(self) -> dict:
+        return {"decoded_cache": self._decoded_state}
 
     # ------------------------------------------------------------------ #
     # debugging helpers

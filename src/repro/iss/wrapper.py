@@ -34,6 +34,7 @@ from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
 from ..bus.opb import DATA_MASTER, INSTRUCTION_MASTER
 from ..bus.transport import BusTransport
 from ..datatypes import WORD_MASK
+from ..kernel.component import SimComponent
 from ..kernel.errors import ModelError
 from ..kernel.module import Module
 from ..kernel.engine import SimulationEngine
@@ -143,7 +144,7 @@ class _BasicBlock:
         self.halt = halt
 
 
-class MicroBlazeWrapper(Module):
+class MicroBlazeWrapper(Module, SimComponent):
     """Cycle-accurate MicroBlaze: ISS core plus bus interface processes."""
 
     def __init__(self, sim: SimulationEngine, name: str, clock,
@@ -250,7 +251,7 @@ class MicroBlazeWrapper(Module):
 
     # -- checkpoint / restore ------------------------------------------------
     def capture_state(self) -> dict:
-        """Plain-data snapshot of the wrapper and its core.
+        """Plain-data snapshot of the wrapper (the core is a state child).
 
         Only valid at a *parked* point: the execute thread suspended on its
         idle timeout (``finished`` set by a drained instruction budget or a
@@ -272,7 +273,6 @@ class MicroBlazeWrapper(Module):
             "load_value": self._load_value,
             "instruction_cycles": self._instruction_cycles,
             "wake_time_ps": event._pending_time,
-            "core": self.core.capture_state(),
         }
 
     def restore_state(self, state: dict) -> None:
@@ -296,10 +296,12 @@ class MicroBlazeWrapper(Module):
         self._fetched_word = state["fetched_word"]
         self._load_value = state["load_value"]
         self._instruction_cycles = state["instruction_cycles"]
-        self.core.restore_state(state["core"])
         event = thread._timeout_event
         event.cancel()
         event.notify(state["wake_time_ps"] - self.sim.time_ps)
+
+    def state_children(self) -> dict:
+        return {"core": self.core}
 
     # -- the execute thread --------------------------------------------------------
     def _execute_thread(self):

@@ -14,8 +14,10 @@ Public surface:
 """
 
 from .clocked import ClockedEngine
+from .component import (SCOPE_ARCHITECTURAL, SCOPE_BUS_LEVEL, SimComponent,
+                        capture_tree, iter_components, restore_tree)
 from .engine import (ENGINE_CLOCKED, ENGINE_GENERIC, SimulationEngine,
-                     create_engine, engine_kinds)
+                     create_engine, engine_kinds, engine_names)
 from .errors import (AddressError, AlignmentError, AssemblerError,
                      BindingError, DecodeError, KernelError, ModelError,
                      MultipleDriverError, ReproError, SimulationFinished,
@@ -31,9 +33,16 @@ __all__ = [
     "ClockedEngine",
     "ENGINE_CLOCKED",
     "ENGINE_GENERIC",
+    "SCOPE_ARCHITECTURAL",
+    "SCOPE_BUS_LEVEL",
+    "SimComponent",
     "SimulationEngine",
+    "capture_tree",
     "create_engine",
     "engine_kinds",
+    "engine_names",
+    "iter_components",
+    "restore_tree",
     "AddressError",
     "AlignmentError",
     "AssemblerError",

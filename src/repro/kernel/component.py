@@ -1,0 +1,122 @@
+"""The uniform component-state protocol.
+
+Every stateful model object in the repository implements the same three
+methods (:class:`SimComponent`):
+
+* ``capture_state() -> dict`` -- a plain-data (picklable) snapshot of the
+  component's *own* state, excluding children;
+* ``restore_state(state)`` -- restore exactly what ``capture_state``
+  returned;
+* ``state_children() -> dict[str, SimComponent]`` -- the named stateful
+  sub-components, in restore order.
+
+Snapshots (``platform/snapshot.py``) are a generic walk over this tree:
+:func:`capture_tree` records every component it can reach and
+:func:`restore_tree` replays the recording.  No layer keeps a
+hand-maintained list of component names, so a new peripheral that plugs
+into its parent's ``state_children()`` is snapshotted automatically -- and
+one that does not is caught by the reachability meta-test
+(``tests/test_state_protocol.py``).
+
+Scopes
+------
+
+Most state is *architectural*: it transfers across simulation engines and
+bus/cpu abstraction levels (registers, memories, counters the experiment
+reports).  A few components model observables that only exist at one bus
+abstraction level -- the pin-level interconnect signals, the fabric's
+protocol counters, the VCD tracer.  Those declare
+``state_scope = SCOPE_BUS_LEVEL`` and :func:`restore_tree` skips their
+subtree when a snapshot crosses bus levels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+#: State that transfers across engines and abstraction levels.
+SCOPE_ARCHITECTURAL = "architectural"
+#: State that is only meaningful between platforms at the same bus level.
+SCOPE_BUS_LEVEL = "bus_level"
+
+
+class SimComponent:
+    """Base class for the capture/restore/children state protocol.
+
+    The defaults describe a stateless leaf: nothing to capture, nothing to
+    restore, no children.  Subclasses override whichever parts apply.
+    ``__slots__`` is empty so slotted classes can inherit without gaining
+    a ``__dict__``.
+    """
+
+    __slots__ = ()
+
+    #: See module docstring; one of :data:`SCOPE_ARCHITECTURAL` /
+    #: :data:`SCOPE_BUS_LEVEL`.
+    state_scope = SCOPE_ARCHITECTURAL
+
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of this component's own state."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the output of :meth:`capture_state`."""
+
+    def state_children(self) -> dict:
+        """Named stateful sub-components, in restore order."""
+        return {}
+
+
+def iter_components(root: SimComponent,
+                    path: str = "") -> Iterator[Tuple[str, SimComponent]]:
+    """Yield ``(dotted_path, component)`` for the whole tree under ``root``.
+
+    The root itself is yielded with ``path`` (empty by default).
+    """
+    yield path, root
+    for name, child in root.state_children().items():
+        child_path = f"{path}.{name}" if path else name
+        yield from iter_components(child, child_path)
+
+
+def capture_tree(root: SimComponent) -> dict:
+    """Recursively capture ``root`` and everything below it.
+
+    Returns a nested plain-data structure::
+
+        {"state": {...}, "children": {name: {...}, ...}}
+
+    (the ``children`` key is omitted for leaves, keeping pickles compact).
+    """
+    node: dict = {"state": root.capture_state()}
+    children = {name: capture_tree(child)
+                for name, child in root.state_children().items()}
+    if children:
+        node["children"] = children
+    return node
+
+
+def restore_tree(root: SimComponent, node: dict,
+                 include_bus_level: bool = True) -> None:
+    """Restore a :func:`capture_tree` recording into ``root``.
+
+    Children are matched *by name*: a recorded child the target does not
+    have (or vice versa) is skipped, which is what lets an architectural
+    snapshot cross abstraction levels -- e.g. a signal-level platform's
+    arbiter node simply has no counterpart on a transaction-level target.
+    With ``include_bus_level=False`` any component declaring
+    ``state_scope = SCOPE_BUS_LEVEL`` is skipped together with its whole
+    subtree (cross-bus-level restore keeps only architectural state).
+
+    Parents restore before children, so a container can prepare (e.g.
+    pre-start a generator thread) before its leaves are filled in.
+    """
+    scope = getattr(root, "state_scope", SCOPE_ARCHITECTURAL)
+    if not include_bus_level and scope == SCOPE_BUS_LEVEL:
+        return
+    root.restore_state(node["state"])
+    children = root.state_children()
+    for name, child_node in node.get("children", {}).items():
+        child = children.get(name)
+        if child is not None:
+            restore_tree(child, child_node, include_bus_level)

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..kernel.component import SimComponent
 from ..kernel.errors import AddressError
 from .memory import MemoryMap, MemoryStorage
 
 
-class MemoryDispatcher:
+class MemoryDispatcher(SimComponent):
     """Direct-access front end for the platform's memory backing stores."""
 
     #: Cycles accounted for a dispatcher-served access (paper: one cycle
@@ -103,6 +104,20 @@ class MemoryDispatcher:
         self.data_accesses += 1
         self.memory_map.write(address, value, size)
         return self.ACCESS_CYCLES
+
+    # -- checkpoint / restore -------------------------------------------------
+    def capture_state(self) -> dict:
+        """Served-access counters (the toggles are configuration, not state;
+        the backing stores are snapshotted through their owning slaves)."""
+        return {
+            "instruction_fetches": self.instruction_fetches,
+            "data_accesses": self.data_accesses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output."""
+        self.instruction_fetches = state["instruction_fetches"]
+        self.data_accesses = state["data_accesses"]
 
     # -- DirectMemory protocol (used by the kernel-function interceptor) ----------------------
     def direct_read(self, address: int, size: int) -> int:

@@ -163,6 +163,9 @@ class EthernetMacProxy(OpbSlave):
         self.frames_received = state.get("frames_received", 0)
         self.frames_dropped = state.get("frames_dropped", 0)
 
+    def state_children(self) -> dict:
+        return {"interrupt": self.interrupt}
+
     # -- register file -------------------------------------------------------
     def read_register(self, offset: int, size: int) -> int:
         self.access_count += 1

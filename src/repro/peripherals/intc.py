@@ -116,6 +116,9 @@ class InterruptController(OpbSlave):
         self.mer = state["mer"]
         self.transactions = state["transactions"]
 
+    def state_children(self) -> dict:
+        return {"irq": self.irq}
+
     # -- behaviour --------------------------------------------------------------------
     def _poll_inputs(self) -> None:
         """Latch the level inputs into ISR each cycle and drive the output."""

@@ -15,10 +15,11 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..datatypes import mask
+from ..kernel.component import SimComponent
 from ..kernel.errors import AddressError, AlignmentError
 
 
-class MemoryStorage:
+class MemoryStorage(SimComponent):
     """A contiguous byte array with word/halfword/byte accessors."""
 
     def __init__(self, name: str, base_address: int, size: int,
@@ -117,6 +118,21 @@ class MemoryStorage:
         """Fill the whole memory with ``value``."""
         self._data = bytearray([value & 0xFF]) * self.size
 
+    # -- checkpoint / restore ----------------------------------------------
+    def capture_state(self) -> dict:
+        """Full contents plus the access counters."""
+        return {
+            "data": bytes(self._data),
+            "read_accesses": self.read_accesses,
+            "write_accesses": self.write_accesses,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overwrite the contents in place (aliases to ``_data`` survive)."""
+        self._data[:] = state["data"]
+        self.read_accesses = state["read_accesses"]
+        self.write_accesses = state["write_accesses"]
+
     def __len__(self) -> int:
         return self.size
 
@@ -125,7 +141,7 @@ class MemoryStorage:
                 f"size={self.size:#x})")
 
 
-class MemoryMap:
+class MemoryMap(SimComponent):
     """A collection of :class:`MemoryStorage` regions with routing.
 
     Provides the flat ``read``/``write`` interface the functional ISS mode,
@@ -166,6 +182,10 @@ class MemoryMap:
     def regions(self) -> tuple[MemoryStorage, ...]:
         """All registered regions."""
         return tuple(self._regions)
+
+    def state_children(self) -> dict:
+        """Every region by name (the map itself holds no state)."""
+        return {region.name: region for region in self._regions}
 
     # -- flat access ---------------------------------------------------------------
     def read(self, address: int, size: int = 4) -> int:

@@ -47,6 +47,9 @@ class MemorySlave(OpbSlave):
         self.storage.write(address, write_value, size)
         return 0
 
+    def state_children(self) -> dict:
+        return {"storage": self.storage}
+
 
 class SdramController(MemorySlave):
     """32 MB SDDR RAM controller -- the platform's main memory.

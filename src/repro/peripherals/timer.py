@@ -110,6 +110,9 @@ class OpbTimer(OpbSlave):
         self.expirations = state["expirations"]
         self.transactions = state["transactions"]
 
+    def state_children(self) -> dict:
+        return {"interrupt": self.interrupt}
+
     # -- behaviour -----------------------------------------------------------------
     @property
     def enabled(self) -> bool:

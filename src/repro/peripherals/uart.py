@@ -214,6 +214,9 @@ class UartLite(OpbSlave):
             event.cancel()
             event.notify(wake - self.sim.time_ps)
 
+    def state_children(self) -> dict:
+        return {"interrupt": self.interrupt}
+
     def _transmit_thread(self):
         """Drain the TX FIFO towards the console.
 

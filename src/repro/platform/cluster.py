@@ -36,7 +36,7 @@ from typing import Optional, Sequence
 
 from ..bus import BUS_SIGNAL
 from ..iss import CPU_CYCLE
-from ..kernel import SimulationEngine, create_engine
+from ..kernel import SimComponent, SimulationEngine, create_engine
 from ..kernel.engine import ENGINE_GENERIC
 from ..kernel.errors import ModelError
 from .config import ModelConfig, VariantName, variant_config
@@ -47,7 +47,7 @@ from . import snapshot as _snapshot
 # ---------------------------------------------------------------------- #
 # the link fabric
 # ---------------------------------------------------------------------- #
-class NetworkSwitch:
+class NetworkSwitch(SimComponent):
     """Store-and-forward hub connecting N Ethernet MACs.
 
     Every committed frame is broadcast to all other ports after
@@ -201,7 +201,7 @@ class ClusterSnapshot:
 # ---------------------------------------------------------------------- #
 # the cluster
 # ---------------------------------------------------------------------- #
-class VanillaNetCluster:
+class VanillaNetCluster(SimComponent):
     """N VanillaNet nodes in one kernel, MACs joined by a network link."""
 
     def __init__(self, config: ClusterConfig) -> None:
@@ -298,6 +298,19 @@ class VanillaNetCluster:
         for node, node_snapshot in zip(self.nodes, snapshot.nodes):
             _snapshot.restore_platform_state(node, node_snapshot)
         self.link.restore_state(snapshot.link)
+
+    def state_children(self) -> dict:
+        """Per-node platform trees plus the shared link.
+
+        Exists for uniform tree traversal (``iter_components``); cluster
+        snapshots keep their node-keyed :class:`ClusterSnapshot` layout
+        because the shared kernel must be reset exactly once, not per
+        subtree.
+        """
+        children: dict = {f"node{index}": node
+                          for index, node in enumerate(self.nodes)}
+        children["link"] = self.link
+        return children
 
     # -- observability --------------------------------------------------
     @property

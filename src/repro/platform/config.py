@@ -14,8 +14,8 @@ from dataclasses import dataclass, replace
 from enum import Enum
 
 from ..bus.transport import BUS_SIGNAL, bus_levels
-from ..iss.wrapper import CPU_CYCLE, cpu_levels
-from ..kernel.engine import ENGINE_GENERIC
+from ..iss.wrapper import CPU_CYCLE, CPU_QUANTUM, cpu_levels
+from ..kernel.engine import ENGINE_GENERIC, engine_names
 from ..kernel.simtime import SimTime
 from ..signals import DataMode
 
@@ -198,7 +198,10 @@ class ModelConfig:
         if self.bus_level != BUS_SIGNAL:
             options.append(f"{self.bus_level} bus")
         if self.cpu_level != CPU_CYCLE:
-            options.append(f"{self.cpu_level} cpu")
+            detail = f"{self.cpu_level} cpu"
+            if self.cpu_level == CPU_QUANTUM:
+                detail += f" ({self.quantum_instructions} insn quantum)"
+            options.append(detail)
         return f"{self.name}: " + ", ".join(options)
 
 
@@ -219,6 +222,9 @@ def variant_config(variant: VariantName,
     if variant is VariantName.RTL_HDL:
         raise ValueError("the RTL HDL baseline is built by repro.rtl, "
                          "not from a ModelConfig")
+    if engine not in engine_names():
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"expected one of {sorted(engine_names())}")
     if bus_level not in bus_levels():
         raise ValueError(f"unknown bus level {bus_level!r}; "
                          f"expected one of {sorted(bus_levels())}")

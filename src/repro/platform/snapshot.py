@@ -10,6 +10,14 @@ worker can restore it into a freshly built platform (possibly on another
 engine / bus level / cpu level) and continue the measurement from the
 warm point.
 
+The platform state itself is gathered by a generic walk over the
+:class:`~repro.kernel.component.SimComponent` tree rooted at the
+platform: every component knows how to capture and restore its own state
+(:meth:`capture_state` / :meth:`restore_state`) and names its stateful
+children (:meth:`state_children`).  This module only adds the parts the
+components cannot know: the parked-point preconditions, the kernel-time
+reset, and the cross-configuration metadata.
+
 Snapshots are taken at a *parked* point: right after
 ``run_instructions()`` returned, when no process is runnable, no update
 or delta notification is pending, and the only timed activity is the
@@ -19,43 +27,41 @@ next edge.  Restoration rebuilds exactly that picture:
 1. build a fresh platform and ``load_program()`` the same program,
 2. :meth:`~repro.kernel.engine.SimulationEngine.restore_reset` the
    engine to the snapshot time with empty queues,
-3. inject the captured state into every component (pre-starting the
-   generator-based threads on empty state first, since generators do not
-   pickle), and
-4. re-arm the timed waits -- clock edge, execute-thread wake, UART
+3. walk the component tree, injecting the captured state into every
+   name-matched component (components with generator-based threads
+   pre-start them on empty state first, since generators do not pickle),
+   re-arming the timed waits -- clock edge, execute-thread wake, UART
    wakes -- at their absolute snapshot times.
 
 Cross-configuration contract: restoring onto a *different* engine, bus
 level or cpu level preserves the architectural state (registers, PC,
 memories, peripheral registers, console text, retired-instruction
 statistics); level-specific observables (bus-fabric counters, VCD text)
-transfer only between matching levels.
+transfer only between matching levels.  The gating falls out of the
+tree walk: components that only exist in some configurations (arbiter,
+master ports, tracer) are matched by name and silently skipped when
+either side lacks them, and components declaring
+``state_scope = SCOPE_BUS_LEVEL`` are skipped wholesale on
+cross-bus-level restores.
 """
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from typing import Optional
 
+from ..kernel.component import capture_tree, restore_tree
 from ..kernel.errors import ModelError
-
-#: Memory storages captured by name, resolved on the platform object.
-_MEMORY_NAMES = ("bram", "sdram", "sram", "flash")
-
-#: Peripherals with ``capture_state``/``restore_state`` hooks, by name.
-_PERIPHERAL_NAMES = ("console_uart", "debug_uart", "timer", "intc", "gpio",
-                     "ethernet")
-
-#: Optional statistics attributes a bus fabric may carry, beyond the
-#: :class:`~repro.bus.transport.BusTransport` base counters.
-_FABRIC_EXTRA_COUNTERS = ("transactions_granted", "dmi_hits",
-                          "target_accesses")
 
 
 @dataclass
 class SimulationSnapshot:
-    """Complete, picklable state of a parked :class:`VanillaNetPlatform`."""
+    """Complete, picklable state of a parked :class:`VanillaNetPlatform`.
+
+    ``tree`` is the nested plain-data state produced by
+    :func:`~repro.kernel.component.capture_tree`; the remaining fields
+    are configuration metadata used to gate cross-level restores.
+    """
 
     variant: Optional[str]
     engine: str
@@ -64,157 +70,12 @@ class SimulationSnapshot:
     trace_enabled: bool
     time_ps: int
     delta_count: int
-    clock: dict
-    wrapper: dict
-    memories: dict
-    peripherals: dict
-    interrupt_signals: dict
-    bus_signals: dict
-    fabric: dict
-    statistics: dict
-    arbiter: Optional[dict]
-    ports: Optional[dict]
-    tracer: Optional[dict]
-
-
-# ---------------------------------------------------------------------- #
-# signal helpers
-# ---------------------------------------------------------------------- #
-def _capture_signal(signal) -> dict:
-    """Plain-data value + counters of a native or resolved signal."""
-    state = {
-        "current": signal._current,
-        "change_count": signal.change_count,
-        "read_count": signal.read_count,
-        "write_count": signal.write_count,
-    }
-    if hasattr(signal, "_next"):
-        state["next"] = signal._next
-    return state
-
-
-def _restore_signal(signal, state: dict) -> None:
-    """Set a signal's value directly, without scheduling an update.
-
-    At a parked point the captured value is stable (no pending update or
-    notification), so writing the fields is exactly equivalent to the
-    signal having settled there -- and it keeps the tracer from seeing a
-    spurious change away from the construction-time value.
-    """
-    signal._current = state["current"]
-    if hasattr(signal, "_next"):
-        signal._next = state.get("next", state["current"])
-    signal.change_count = state["change_count"]
-    signal.read_count = state["read_count"]
-    signal.write_count = state["write_count"]
-
-
-# ---------------------------------------------------------------------- #
-# clock
-# ---------------------------------------------------------------------- #
-def _capture_clock(clock) -> dict:
-    if clock._value:
-        # The last edge was posedge number ``posedge_count`` (at
-        # ``posedge_count * period_ps`` for a start-low clock); the next
-        # is its falling edge, ``high_ps`` later.
-        next_edge_ps = clock.posedge_count * clock.period_ps + clock.high_ps
-    else:
-        next_edge_ps = (clock.posedge_count + 1) * clock.period_ps
-    return {
-        "value": clock._value,
-        "posedge_count": clock.posedge_count,
-        "negedge_count": clock.negedge_count,
-        "next_edge_ps": next_edge_ps,
-    }
-
-
-def _restore_clock(platform, state: dict) -> None:
-    clock = platform.clock
-    clock._value = state["value"]
-    clock.posedge_count = state["posedge_count"]
-    clock.negedge_count = state["negedge_count"]
-    platform.sim.restore_clock_edge(clock, state["next_edge_ps"])
-
-
-# ---------------------------------------------------------------------- #
-# bus fabric statistics
-# ---------------------------------------------------------------------- #
-def _capture_fabric(fabric) -> dict:
-    state = {
-        "kind": fabric.kind,
-        "transfer_count": fabric.transfer_count,
-        "cycles_spent": fabric.cycles_spent,
-        "per_master_transfers": dict(fabric.per_master_transfers),
-    }
-    for attr in _FABRIC_EXTRA_COUNTERS:
-        if hasattr(fabric, attr):
-            state[attr] = getattr(fabric, attr)
-    if hasattr(fabric, "per_master_transactions"):
-        state["per_master_transactions"] = dict(
-            fabric.per_master_transactions)
-    return state
-
-
-def _restore_fabric(fabric, state: dict) -> None:
-    fabric.transfer_count = state["transfer_count"]
-    fabric.cycles_spent = state["cycles_spent"]
-    fabric.per_master_transfers.clear()
-    fabric.per_master_transfers.update(state["per_master_transfers"])
-    for attr in _FABRIC_EXTRA_COUNTERS:
-        if attr in state and hasattr(fabric, attr):
-            setattr(fabric, attr, state[attr])
-    if "per_master_transactions" in state \
-            and hasattr(fabric, "per_master_transactions"):
-        fabric.per_master_transactions.clear()
-        fabric.per_master_transactions.update(
-            state["per_master_transactions"])
-
-
-# ---------------------------------------------------------------------- #
-# tracer / VCD
-# ---------------------------------------------------------------------- #
-def _capture_tracer(tracer) -> dict:
-    writer = tracer.writer
-    return {
-        "text": writer.getvalue(),
-        "header_written": writer._header_written,
-        "last_time": writer._last_time,
-        "change_count": writer.change_count,
-        "poll_count": tracer.poll_count,
-        "last_values": [entry["last"] for entry in tracer._traced],
-    }
-
-
-def _restore_tracer(tracer, state: dict) -> None:
-    writer = tracer.writer
-    stream = io.StringIO()
-    stream.write(state["text"])
-    writer.stream = stream
-    writer._header_written = state["header_written"]
-    writer._last_time = state["last_time"]
-    writer.change_count = state["change_count"]
-    tracer.poll_count = state["poll_count"]
-    if len(state["last_values"]) != len(tracer._traced):
-        raise ModelError(
-            "snapshot tracer state does not match the platform's traced "
-            f"signal set ({len(state['last_values'])} captured, "
-            f"{len(tracer._traced)} traced)")
-    for entry, last in zip(tracer._traced, state["last_values"]):
-        entry["last"] = last
+    tree: dict
 
 
 # ---------------------------------------------------------------------- #
 # capture
 # ---------------------------------------------------------------------- #
-def _storages(platform) -> dict:
-    return {
-        "bram": platform.bram,
-        "sdram": platform.sdram.storage,
-        "sram": platform.sram.storage,
-        "flash": platform.flash.storage,
-    }
-
-
 def capture_snapshot(platform, variant: Optional[str] = None) \
         -> SimulationSnapshot:
     """Snapshot a parked platform into plain picklable data.
@@ -231,64 +92,6 @@ def capture_snapshot(platform, variant: Optional[str] = None) \
     if platform.program is None:
         raise ModelError("snapshot requires a loaded program")
     config = platform.config
-
-    memories = {}
-    for name, storage in _storages(platform).items():
-        memories[name] = {
-            "data": bytes(storage._data),
-            "read_accesses": storage.read_accesses,
-            "write_accesses": storage.write_accesses,
-        }
-
-    peripherals = {name: getattr(platform, name).capture_state()
-                   for name in _PERIPHERAL_NAMES}
-
-    interrupt_signals = {
-        "intc.irq": _capture_signal(platform.intc.irq),
-        "timer.interrupt": _capture_signal(platform.timer.interrupt),
-        "console_uart.interrupt":
-            _capture_signal(platform.console_uart.interrupt),
-        "debug_uart.interrupt":
-            _capture_signal(platform.debug_uart.interrupt),
-        "ethernet.interrupt": _capture_signal(platform.ethernet.interrupt),
-    }
-
-    bus_signals = {name: _capture_signal(signal) for name, signal
-                   in platform.interconnect.all_signals().items()}
-
-    statistics = {
-        "lmb": {"reads": platform.lmb.reads, "writes": platform.lmb.writes},
-        "dispatcher": {
-            "instruction_fetches": platform.dispatcher.instruction_fetches,
-            "data_accesses": platform.dispatcher.data_accesses,
-        },
-        "memory_slave_transactions": {
-            "sdram": platform.sdram.transactions,
-            "sram": platform.sram.transactions,
-            "flash": platform.flash.transactions,
-        },
-    }
-
-    arbiter = None
-    if platform.arbiter is not None:
-        arbiter = {
-            "transactions_granted": platform.arbiter.transactions_granted,
-            "per_master_transactions": dict(
-                platform.arbiter.per_master_transactions),
-        }
-
-    ports = None
-    if platform.instruction_port is not None:
-        ports = {}
-        for name, port in (("imaster", platform.instruction_port),
-                           ("dmaster", platform.data_port)):
-            ports[name] = {"transfer_count": port.transfer_count,
-                           "cycles_spent": port.cycles_spent}
-
-    tracer = None
-    if platform.tracer is not None:
-        tracer = _capture_tracer(platform.tracer)
-
     return SimulationSnapshot(
         variant=variant,
         engine=config.engine,
@@ -297,17 +100,7 @@ def capture_snapshot(platform, variant: Optional[str] = None) \
         trace_enabled=config.trace_enabled,
         time_ps=sim.time_ps,
         delta_count=sim.delta_count,
-        clock=_capture_clock(platform.clock),
-        wrapper=platform.microblaze.capture_state(),
-        memories=memories,
-        peripherals=peripherals,
-        interrupt_signals=interrupt_signals,
-        bus_signals=bus_signals,
-        fabric=_capture_fabric(platform.bus_fabric),
-        statistics=statistics,
-        arbiter=arbiter,
-        ports=ports,
-        tracer=tracer,
+        tree=capture_tree(platform),
     )
 
 
@@ -328,83 +121,20 @@ def restore_snapshot(platform, snapshot: SimulationSnapshot) -> None:
         raise ModelError("restore requires the program to be loaded first "
                          "(snapshots do not carry the program image)")
 
-    # 1. Kernel: empty queues at the snapshot time.
+    # Kernel first: empty queues at the snapshot time, so the tree walk's
+    # re-armed waits land at their absolute snapshot times.
     platform.sim.restore_reset(snapshot.time_ps, snapshot.delta_count)
 
     restore_platform_state(platform, snapshot)
 
 
 def restore_platform_state(platform, snapshot: SimulationSnapshot) -> None:
-    """Inject a snapshot's component state (steps 2-8 of the restore).
+    """Inject a snapshot's component state (the tree walk of the restore).
 
     Split out from :func:`restore_snapshot` because
     ``SimulationEngine.restore_reset`` may run only once per engine: a
     multi-node cluster resets its shared kernel once and then calls this
     per node (see :mod:`repro.platform.cluster`).
     """
-    # 2. Clock: phase, edge counters and the absolute next-edge time.
-    _restore_clock(platform, snapshot.clock)
-
-    # 3. Memories (overwrites the freshly loaded program image with the
-    #    warmed-up one -- same program, plus every store it executed).
-    storages = _storages(platform)
-    for name, state in snapshot.memories.items():
-        storage = storages[name]
-        storage._data[:] = state["data"]
-        storage.read_accesses = state["read_accesses"]
-        storage.write_accesses = state["write_accesses"]
-
-    # 4. The ISS wrapper and core (pre-starts the execute thread, then
-    #    injects registers/PC/statistics and re-arms the idle wake).
-    platform.microblaze.restore_state(snapshot.wrapper)
-
-    # 5. Peripherals (UARTs pre-start their transmit threads).
-    for name, state in snapshot.peripherals.items():
-        getattr(platform, name).restore_state(state)
-
-    # 6. Interrupt tree and (same-level only) interconnect signals.
-    interrupt_signals = {
-        "intc.irq": platform.intc.irq,
-        "timer.interrupt": platform.timer.interrupt,
-        "console_uart.interrupt": platform.console_uart.interrupt,
-        "debug_uart.interrupt": platform.debug_uart.interrupt,
-        "ethernet.interrupt": platform.ethernet.interrupt,
-    }
-    for name, state in snapshot.interrupt_signals.items():
-        _restore_signal(interrupt_signals[name], state)
     same_bus_level = snapshot.bus_level == platform.config.bus_level
-    if same_bus_level:
-        signals = platform.interconnect.all_signals()
-        for name, state in snapshot.bus_signals.items():
-            if name in signals:
-                _restore_signal(signals[name], state)
-
-    # 7. Statistics counters.
-    stats = snapshot.statistics
-    platform.lmb.reads = stats["lmb"]["reads"]
-    platform.lmb.writes = stats["lmb"]["writes"]
-    platform.dispatcher.instruction_fetches = \
-        stats["dispatcher"]["instruction_fetches"]
-    platform.dispatcher.data_accesses = stats["dispatcher"]["data_accesses"]
-    for name, transactions in stats["memory_slave_transactions"].items():
-        getattr(platform, name).transactions = transactions
-    if same_bus_level:
-        _restore_fabric(platform.bus_fabric, snapshot.fabric)
-    if snapshot.arbiter is not None and platform.arbiter is not None:
-        platform.arbiter.transactions_granted = \
-            snapshot.arbiter["transactions_granted"]
-        platform.arbiter.per_master_transactions.clear()
-        platform.arbiter.per_master_transactions.update(
-            snapshot.arbiter["per_master_transactions"])
-    if snapshot.ports is not None and platform.instruction_port is not None:
-        for name, port in (("imaster", platform.instruction_port),
-                           ("dmaster", platform.data_port)):
-            port.transfer_count = snapshot.ports[name]["transfer_count"]
-            port.cycles_spent = snapshot.ports[name]["cycles_spent"]
-
-    # 8. VCD trace (only meaningful between identically traced,
-    #    same-bus-level configurations; otherwise the fresh tracer simply
-    #    starts a new trace from the restored values).
-    if snapshot.tracer is not None and platform.tracer is not None \
-            and same_bus_level:
-        _restore_tracer(platform.tracer, snapshot.tracer)
+    restore_tree(platform, snapshot.tree, include_bus_level=same_bus_level)

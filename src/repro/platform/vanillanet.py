@@ -20,7 +20,7 @@ from ..isa.assembler import Program
 from ..iss import (CPU_QUANTUM, InvalidatingDirectMemory,
                    KernelFunctionInterceptor, MicroBlazeWrapper,
                    QuantumContext)
-from ..kernel import Module, SimulationEngine, create_engine
+from ..kernel import Module, SimComponent, SimulationEngine, create_engine
 from ..kernel.simtime import SimTime
 from ..peripherals import (ConsoleSink, EthernetMacProxy, FlashController,
                            Gpio, InterruptController, MemoryDispatcher,
@@ -33,7 +33,7 @@ from . import memory_map as mm
 from . import snapshot as _snapshot
 
 
-class VanillaNetPlatform:
+class VanillaNetPlatform(SimComponent):
     """The complete target system, built per :class:`ModelConfig`."""
 
     def __init__(self, config: Optional[ModelConfig] = None,
@@ -296,6 +296,43 @@ class VanillaNetPlatform:
         have run.
         """
         _snapshot.restore_snapshot(self, snapshot)
+
+    def state_children(self) -> dict:
+        """The platform's component-state tree (see :mod:`..kernel.component`).
+
+        Ordered so that a restore walk re-arms timed waits the way a parked
+        capture left them: clock first, then memories, the processor, the
+        peripherals (each followed by its own interrupt signal), and the
+        bus-level-scoped interconnect / fabric / tracer last.  Children
+        that exist only in some configurations (arbiter, master ports,
+        tracer) are simply absent elsewhere; the name-matched tree walk
+        skips them on cross-configuration restores.
+        """
+        children = {
+            "clock": self.clock,
+            "lmb": self.lmb,
+            "sdram": self.sdram,
+            "sram": self.sram,
+            "flash": self.flash,
+            "microblaze": self.microblaze,
+            "console_uart": self.console_uart,
+            "debug_uart": self.debug_uart,
+            "timer": self.timer,
+            "intc": self.intc,
+            "gpio": self.gpio,
+            "ethernet": self.ethernet,
+            "dispatcher": self.dispatcher,
+            "interconnect": self.interconnect,
+            "fabric": self.bus_fabric,
+        }
+        if self.arbiter is not None:
+            children["arbiter"] = self.arbiter
+        if self.instruction_port is not None:
+            children["instruction_port"] = self.instruction_port
+            children["data_port"] = self.data_port
+        if self.tracer is not None:
+            children["tracer"] = self.tracer
+        return children
 
     # ------------------------------------------------------------------ #
     # run-time optimisation toggles (paper section 5)

@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ..kernel.component import SimComponent
 from ..kernel.module import Module
 from ..kernel.engine import SimulationEngine
 from ..signals import ResolvedSignal
 from ..signals.ports import InPort, OutPort
 
 
-class RtlRegister(Module):
+class RtlRegister(Module, SimComponent):
     """A clocked register with enable and synchronous reset.
 
     One simulation process per register, exactly as in a generated RTL
@@ -73,6 +74,18 @@ class RtlRegister(Module):
         if data.is_known():
             self.value = data.to_int()
 
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """The committed value mirror (the wires are state children)."""
+        return {"value": self.value}
+
+    def restore_state(self, state: dict) -> None:
+        self.value = state["value"]
+
+    def state_children(self) -> dict:
+        return {"d": self.d, "q": self.q, "enable": self.enable,
+                "reset": self.reset}
+
     # -- behavioural back door used by the RTL control FSM ------------------
     def load(self, value: int) -> None:
         """Drive the register inputs so the value is captured this cycle."""
@@ -84,7 +97,7 @@ class RtlRegister(Module):
         self.enable.write(0, driver=self)
 
 
-class RtlCombinational(Module):
+class RtlCombinational(Module, SimComponent):
     """A combinational block re-evaluated every clock cycle.
 
     Generated RTL commonly re-evaluates address decoders and next-state
@@ -110,6 +123,16 @@ class RtlCombinational(Module):
         self.evaluations = 0
         self.sc_method(self._evaluate, sensitive=[clock.posedge_event()],
                        dont_initialize=True, name="comb")
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        return {"evaluations": self.evaluations}
+
+    def restore_state(self, state: dict) -> None:
+        self.evaluations = state["evaluations"]
+
+    def state_children(self) -> dict:
+        return {"output": self.output}
 
     def _evaluate(self) -> None:
         self.evaluations += 1

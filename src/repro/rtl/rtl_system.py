@@ -27,6 +27,7 @@ from typing import Optional
 
 from ..isa.assembler import Program
 from ..iss.core import MicroBlazeCore
+from ..kernel.component import SimComponent
 from ..kernel.module import Module
 from ..kernel.engine import (ENGINE_GENERIC, SimulationEngine,
                              create_engine)
@@ -66,7 +67,7 @@ _PERIPHERAL_REGISTERS = {
 DEFAULT_NETLIST_SHADOW_REGISTERS = 224
 
 
-class RtlVanillaNetSystem:
+class RtlVanillaNetSystem(SimComponent):
     """RTL-structured model of the platform running a bare-metal program."""
 
     def __init__(self, sim: Optional[SimulationEngine] = None,
@@ -227,8 +228,41 @@ class RtlVanillaNetSystem:
         """Number of RTL processes (registers + combinational blocks)."""
         return self.sim.process_count()
 
+    # -- state protocol ------------------------------------------------------
+    def capture_state(self) -> dict:
+        return {"console_bytes": list(self.console_bytes)}
 
-class _RtlControlFsm(Module):
+    def restore_state(self, state: dict) -> None:
+        self.console_bytes[:] = state["console_bytes"]
+
+    def state_children(self) -> dict:
+        """Every stateful piece of the netlist-structured model.
+
+        The RTL baseline has no snapshot/restore workflow (it is only
+        ever measured from reset), but implementing the component-state
+        protocol keeps it walkable by the same tooling as the SystemC
+        platforms.
+        """
+        children: dict = {"clock": self.clock, "memory": self.memory,
+                          "core": self.core, "control": self.control,
+                          "pc": self.pc_register, "ir": self.ir_register,
+                          "msr": self.msr_register, "mar": self.mar_register,
+                          "mdr": self.mdr_register,
+                          "fsm_state": self.state_register,
+                          "alu": self.alu, "pc_incr": self.pc_incrementer}
+        for index, register in enumerate(self.register_file):
+            children[f"rf.r{index}"] = register
+        for index, register in enumerate(self.netlist_registers):
+            children[f"netlist.ff{index}"] = register
+        for peripheral, registers in self.peripheral_registers.items():
+            for index, register in enumerate(registers):
+                children[f"{peripheral}.reg{index}"] = register
+        for index, decoder in enumerate(self.address_decoders):
+            children[f"decoder{index}"] = decoder
+        return children
+
+
+class _RtlControlFsm(Module, SimComponent):
     """The multi-cycle fetch/decode/execute/memory/write-back controller."""
 
     STATE_FETCH = 0
@@ -296,3 +330,19 @@ class _RtlControlFsm(Module):
     def _enter(self, state: int, wait: int) -> None:
         self._state = state
         self._wait = wait
+
+    # -- state protocol ------------------------------------------------------
+    def capture_state(self) -> dict:
+        """FSM position and retirement counter.
+
+        Only meaningful between instructions (``STATE_FETCH``): the
+        in-flight decoded instruction is a compiled object and is rebuilt
+        by the next fetch rather than serialized.
+        """
+        return {"state": self._state, "wait": self._wait,
+                "instructions_retired": self.instructions_retired}
+
+    def restore_state(self, state: dict) -> None:
+        self._state = state["state"]
+        self._wait = state["wait"]
+        self.instructions_retired = state["instructions_retired"]

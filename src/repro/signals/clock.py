@@ -12,12 +12,13 @@ simulated Clock cycles Per Second (CPS).
 
 from __future__ import annotations
 
+from ..kernel.component import SimComponent
 from ..kernel.engine import SimulationEngine
 from ..kernel.events import Event
 from ..kernel.simtime import SimTime, _as_ps
 
 
-class Clock:
+class Clock(SimComponent):
     """A free-running two-phase clock.
 
     Parameters
@@ -106,6 +107,36 @@ class Clock:
 
     def _update(self) -> None:  # pragma: no cover - protocol stub
         """Primitive-channel protocol stub (the clock updates itself)."""
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Phase, edge counters and the absolute time of the next edge."""
+        if self._value:
+            # The last edge was posedge number ``posedge_count`` (at
+            # ``posedge_count * period_ps`` for a start-low clock); the next
+            # is its falling edge, ``high_ps`` later.
+            next_edge_ps = self.posedge_count * self.period_ps + self.high_ps
+        else:
+            next_edge_ps = (self.posedge_count + 1) * self.period_ps
+        return {
+            "value": self._value,
+            "posedge_count": self.posedge_count,
+            "negedge_count": self.negedge_count,
+            "next_edge_ps": next_edge_ps,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore the phase and re-arm the next edge at its absolute time.
+
+        Requires the engine to have been reset to the snapshot time first
+        (``restore_reset``); the next edge is scheduled through the
+        engine's clock-restore hook so a clock-adopting engine can take it
+        over.
+        """
+        self._value = state["value"]
+        self.posedge_count = state["posedge_count"]
+        self.negedge_count = state["negedge_count"]
+        self.sim.restore_clock_edge(self, state["next_edge_ps"])
 
     # -- edge generation ---------------------------------------------------------
     def _edge(self) -> None:

@@ -24,6 +24,7 @@ from enum import Enum
 from typing import Generic, Optional, TypeVar
 
 from ..datatypes import LogicVector, resolve_vectors
+from ..kernel.component import SimComponent
 from ..kernel.engine import SimulationEngine
 from ..kernel.errors import MultipleDriverError
 from ..kernel.events import Event
@@ -43,7 +44,7 @@ class DataMode(Enum):
     NATIVE = "native"
 
 
-class SignalBase:
+class SignalBase(SimComponent):
     """Shared bookkeeping for all signal kinds."""
 
     __slots__ = ("sim", "name", "_changed_event", "_update_requested",
@@ -68,6 +69,32 @@ class SignalBase:
     def value_changed_event(self) -> Event:
         """Alias for :meth:`default_event`, mirroring the SystemC name."""
         return self._changed_event
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        """Committed value plus the access counters.
+
+        Only the *committed* value is meaningful at a snapshot point: the
+        platform is quiescent, so no update is pending (subclasses with a
+        next-value slot record it anyway for exactness).
+        """
+        return {
+            "current": self._current,
+            "change_count": self.change_count,
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Set the committed value and counters without an update phase.
+
+        Writing the private slots directly is this class's own business --
+        a restore must not generate value-changed events or deltas.
+        """
+        self._current = state["current"]
+        self.change_count = state["change_count"]
+        self.read_count = state["read_count"]
+        self.write_count = state["write_count"]
 
 
 class Signal(SignalBase, Generic[ValueT]):
@@ -124,6 +151,16 @@ class Signal(SignalBase, Generic[ValueT]):
         if self._negedge_event is None:
             self._negedge_event = Event(self.sim, f"{self.name}.negedge")
         return self._negedge_event
+
+    # -- checkpoint / restore ------------------------------------------------
+    def capture_state(self) -> dict:
+        state = super().capture_state()
+        state["next"] = self._next
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._next = state.get("next", state["current"])
 
     # -- update protocol -------------------------------------------------------
     def _update(self) -> None:

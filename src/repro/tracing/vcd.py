@@ -20,7 +20,9 @@ import io
 from typing import Optional, TextIO
 
 from ..datatypes import LogicVector
+from ..kernel.component import SCOPE_BUS_LEVEL, SimComponent
 from ..kernel.engine import SimulationEngine
+from ..kernel.errors import ModelError
 
 
 class VcdWriter:
@@ -111,7 +113,7 @@ class VcdWriter:
         raise TypeError("getvalue() requires an in-memory stream")
 
 
-class Tracer:
+class Tracer(SimComponent):
     """Connects signals to a :class:`VcdWriter`.
 
     Two operating modes, matching how ``sc_trace`` actually behaves:
@@ -126,6 +128,10 @@ class Tracer:
       method process sensitive to its value-change event.  Cheaper, and
       useful for unit tests that want exact change streams.
     """
+
+    #: VCD text is only meaningful between identically traced platforms on
+    #: the same bus level; cross-level restores start a fresh trace.
+    state_scope = SCOPE_BUS_LEVEL
 
     def __init__(self, sim: SimulationEngine,
                  writer: Optional[VcdWriter] = None,
@@ -192,6 +198,41 @@ class Tracer:
             value = self._sample(entry["signal"])
             if value != entry["last"]:
                 self._record(entry, value)
+
+    # -- checkpoint / restore -------------------------------------------------
+    def capture_state(self) -> dict:
+        """Plain-data snapshot of the accumulated VCD text and scan state."""
+        writer = self.writer
+        return {
+            "text": writer.getvalue(),
+            "header_written": writer._header_written,
+            "last_time": writer._last_time,
+            "change_count": writer.change_count,
+            "poll_count": self.poll_count,
+            "last_values": [entry["last"] for entry in self._traced],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`capture_state` output into a fresh tracer.
+
+        Requires the restoring platform to trace the same signal set, in
+        the same order, as the captured one.
+        """
+        writer = self.writer
+        stream = io.StringIO()
+        stream.write(state["text"])
+        writer.stream = stream
+        writer._header_written = state["header_written"]
+        writer._last_time = state["last_time"]
+        writer.change_count = state["change_count"]
+        self.poll_count = state["poll_count"]
+        if len(state["last_values"]) != len(self._traced):
+            raise ModelError(
+                "snapshot tracer state does not match the platform's traced "
+                f"signal set ({len(state['last_values'])} captured, "
+                f"{len(self._traced)} traced)")
+        for entry, last in zip(self._traced, state["last_values"]):
+            entry["last"] = last
 
     @property
     def traced_count(self) -> int:

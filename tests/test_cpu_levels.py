@@ -15,6 +15,8 @@ instruction budgets not divisible by the quantum size, and route changes
 between quanta.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.bus import BUS_FUNCTIONAL, BUS_SIGNAL, BUS_TRANSACTION, bus_levels
@@ -79,6 +81,16 @@ class TestCpuLevelConfig:
         described = variant_config(VariantName.NATIVE_TYPES,
                                    cpu_level=CPU_QUANTUM).describe()
         assert "quantum" in described
+
+    def test_describe_includes_quantum_size(self):
+        config = dataclasses.replace(
+            variant_config(VariantName.NATIVE_TYPES,
+                           cpu_level=CPU_QUANTUM),
+            quantum_instructions=64)
+        assert "quantum cpu (64 insn quantum)" in config.describe()
+        baseline = variant_config(VariantName.NATIVE_TYPES,
+                                  cpu_level=CPU_CYCLE)
+        assert "insn quantum" not in baseline.describe()
 
     def test_quantum_size_plumbed(self):
         platform = boot_platform(VariantName.NATIVE_TYPES, CPU_QUANTUM,

@@ -53,6 +53,17 @@ class TestEngineFactory:
         assert isinstance(platform.sim, ClockedEngine)
         assert "clocked engine" in config.describe()
 
+    def test_variant_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            variant_config(VariantName.INITIAL, engine="warp-drive")
+
+    def test_variant_config_engine_error_names_known_engines(self):
+        with pytest.raises(ValueError) as excinfo:
+            variant_config(VariantName.NATIVE_TYPES, engine="")
+        message = str(excinfo.value)
+        for kind in engine_kinds():
+            assert kind in message
+
     def test_rtl_system_selects_engine(self):
         system = RtlVanillaNetSystem(engine=ENGINE_CLOCKED)
         assert isinstance(system.sim, ClockedEngine)

@@ -1,0 +1,243 @@
+"""Meta-tests for the SimComponent state protocol.
+
+The snapshot layer is a blind tree walk over ``state_children()``; a
+stateful component that forgets to plug itself into its parent's children
+mapping silently drops out of every snapshot.  These tests make that
+failure loud: they scan the *attribute graph* of built platforms for
+every object that implements ``capture_state`` and assert each one is
+reachable through :func:`repro.kernel.iter_components`.
+"""
+
+import pickle
+import types
+
+import pytest
+
+from repro.kernel import (SimComponent, capture_tree, iter_components,
+                          restore_tree)
+from repro.bus import BUS_FUNCTIONAL, BUS_SIGNAL, BUS_TRANSACTION
+from repro.kernel.engine import ENGINE_CLOCKED, ENGINE_GENERIC
+from repro.platform import (VanillaNetCluster, VanillaNetPlatform,
+                            VariantName, cluster_config, variant_config)
+from repro.iss.wrapper import CPU_QUANTUM
+from repro.rtl import RtlVanillaNetSystem
+from repro.software import arithmetic_program, ping_echo_programs
+
+_ATOMIC = (str, bytes, bytearray, memoryview, int, float, complex, bool,
+           type(None))
+
+
+def _attribute_values(obj):
+    """Every instance attribute value of ``obj`` (dict and slots)."""
+    attrs = {}
+    instance_dict = getattr(obj, "__dict__", None)
+    if isinstance(instance_dict, dict):
+        attrs.update(instance_dict)
+    for klass in type(obj).__mro__:
+        slots = getattr(klass, "__slots__", ())
+        if isinstance(slots, str):
+            slots = (slots,)
+        for slot in slots:
+            if slot in ("__dict__", "__weakref__"):
+                continue
+            try:
+                attrs.setdefault(slot, getattr(obj, slot))
+            except AttributeError:
+                pass
+    return attrs
+
+
+def _is_stateful(obj):
+    """True when ``obj`` carries state of its own.
+
+    An object is stateful when it *overrides* ``capture_state`` or
+    ``restore_state`` (a plain :class:`SimComponent` inheriting both
+    defaults is a stateless container/view -- its children carry the
+    state and are checked on their own).  Any non-SimComponent class
+    that duck-types ``capture_state`` counts as stateful too.
+    """
+    cls = type(obj)
+    capture = getattr(cls, "capture_state", None)
+    if capture is None or not callable(capture):
+        return False
+    restore = getattr(cls, "restore_state", None)
+    return (capture is not SimComponent.capture_state
+            or (restore is not None
+                and restore is not SimComponent.restore_state))
+
+
+def scan_components(root):
+    """Attribute-graph scan: every reachable stateful object.
+
+    Walks instance attributes and plain containers starting at ``root``
+    and returns ``{id: (object, access_path)}`` for each stateful object
+    found (see :func:`_is_stateful`).  Deliberately independent of
+    ``state_children()`` -- that is the thing under test.
+    """
+    components = {}
+    seen = set()
+    stack = [(root, "root")]
+    while stack:
+        obj, via = stack.pop()
+        if id(obj) in seen or isinstance(obj, _ATOMIC):
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, (type, types.ModuleType)):
+            continue
+        if isinstance(obj, dict):
+            stack.extend((value, f"{via}[{key!r}]")
+                         for key, value in obj.items())
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend((value, f"{via}[{index}]")
+                         for index, value in enumerate(obj))
+            continue
+        if not type(obj).__module__.startswith("repro"):
+            continue
+        if _is_stateful(obj):
+            components[id(obj)] = (obj, via)
+        stack.extend((value, f"{via}.{name}")
+                     for name, value in _attribute_values(obj).items())
+        if isinstance(obj, SimComponent):
+            stack.extend((child, f"{via}<{name}>")
+                         for name, child in obj.state_children().items())
+    return components
+
+
+def assert_all_reachable(root):
+    """Every scanned component must appear in the state tree of ``root``."""
+    tree = {id(component): path
+            for path, component in iter_components(root)}
+    missing = sorted(via for oid, (obj, via) in scan_components(root).items()
+                     if oid not in tree)
+    assert not missing, \
+        f"components unreachable via state_children(): {missing}"
+    return tree
+
+
+def build_platform(variant=VariantName.INITIAL, **kwargs):
+    platform = VanillaNetPlatform(variant_config(variant, **kwargs))
+    platform.load_program(arithmetic_program())
+    return platform
+
+
+class TestPlatformReachability:
+    @pytest.mark.parametrize("variant,kwargs", [
+        (VariantName.INITIAL, {}),
+        (VariantName.INITIAL_TRACE, {}),
+        (VariantName.NATIVE_TYPES, {"engine": ENGINE_CLOCKED}),
+        (VariantName.THREADS_TO_METHODS, {"bus_level": BUS_TRANSACTION}),
+        (VariantName.KERNEL_FUNCTION_CAPTURE,
+         {"bus_level": BUS_FUNCTIONAL, "cpu_level": CPU_QUANTUM}),
+    ], ids=["initial", "trace", "clocked", "transaction",
+            "functional-quantum"])
+    def test_every_stateful_object_is_in_the_tree(self, variant, kwargs):
+        assert_all_reachable(build_platform(variant, **kwargs))
+
+    def test_tree_paths_are_unique(self):
+        platform = build_platform()
+        paths = [path for path, _ in iter_components(platform)]
+        assert len(paths) == len(set(paths))
+
+    def test_every_tree_node_is_a_sim_component(self):
+        platform = build_platform(VariantName.INITIAL_TRACE)
+        for path, component in iter_components(platform):
+            assert isinstance(component, SimComponent), path
+
+    def test_capture_tree_is_picklable_plain_data(self):
+        platform = build_platform()
+        platform.run_cycles(50)
+        tree = capture_tree(platform)
+        assert pickle.loads(pickle.dumps(tree)) == tree
+
+    def test_rtl_system_reachability(self):
+        system = RtlVanillaNetSystem(engine=ENGINE_GENERIC)
+        assert_all_reachable(system)
+
+
+class TestClusterReachability:
+    def test_two_node_cluster(self):
+        cluster = VanillaNetCluster(cluster_config(2))
+        cluster.load_programs(list(ping_echo_programs(count=1)))
+        tree = assert_all_reachable(cluster)
+        assert any(path.startswith("node0") for path in tree.values())
+        assert any(path.startswith("node1") for path in tree.values())
+        assert "link" in tree.values()
+
+    def test_signal_level_cluster_includes_bus_machinery(self):
+        cluster = VanillaNetCluster(
+            cluster_config(2, variant=VariantName.INITIAL,
+                           bus_level=BUS_SIGNAL))
+        cluster.load_programs(list(ping_echo_programs(count=1)))
+        tree = assert_all_reachable(cluster)
+        paths = set(tree.values())
+        assert "node0.interconnect" in paths
+        assert "node1.arbiter" in paths
+
+
+class _Leaf(SimComponent):
+    """Toy stateful leaf for restore_tree semantics tests."""
+
+    def __init__(self, value=0):
+        self.value = value
+        self.restored = 0
+
+    def capture_state(self):
+        return {"value": self.value}
+
+    def restore_state(self, state):
+        self.value = state["value"]
+        self.restored += 1
+
+
+class _BusLeaf(_Leaf):
+    state_scope = "bus_level"
+
+
+class _Box(_Leaf):
+    def __init__(self, **children):
+        super().__init__()
+        self.children = children
+        self.restore_order = []
+
+    def restore_state(self, state):
+        super().restore_state(state)
+        self.restore_order.append("parent")
+        for leaf in self.children.values():
+            leaf.parent_box = self
+
+    def state_children(self):
+        return dict(self.children)
+
+
+class TestRestoreTreeSemantics:
+    def test_children_matched_by_name(self):
+        source = _Box(a=_Leaf(1), b=_Leaf(2))
+        tree = capture_tree(source)
+        target = _Box(a=_Leaf(0), c=_Leaf(9))
+        restore_tree(target, tree)
+        assert target.children["a"].value == 1       # name match: restored
+        assert target.children["c"].value == 9       # no counterpart: kept
+        assert target.children["c"].restored == 0
+
+    def test_bus_level_scope_skipped_on_cross_level_restore(self):
+        source = _Box(arch=_Leaf(5), pins=_BusLeaf(7))
+        tree = capture_tree(source)
+        target = _Box(arch=_Leaf(0), pins=_BusLeaf(0))
+        restore_tree(target, tree, include_bus_level=False)
+        assert target.children["arch"].value == 5
+        assert target.children["pins"].value == 0
+        assert target.children["pins"].restored == 0
+        restore_tree(target, tree, include_bus_level=True)
+        assert target.children["pins"].value == 7
+
+    def test_parent_restores_before_children(self):
+        source = _Box(leaf=_Leaf(3))
+        tree = capture_tree(source)
+        target = _Box(leaf=_Leaf(0))
+        restore_tree(target, tree)
+        # The parent ran first: the child already saw the parent's
+        # prepare step (parent_box backlink) when it was restored.
+        assert target.restore_order == ["parent"]
+        assert target.children["leaf"].parent_box is target
+        assert target.children["leaf"].value == 3
