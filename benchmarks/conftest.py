@@ -119,6 +119,18 @@ def record_fig2_results(results, errors=()) -> dict:
                                       errors=errors)
 
 
+def record_cluster_results(results) -> dict:
+    """Merge measured cluster cells into ``BENCH_fig2.json``.
+
+    Cluster rows share the document (and the per-commit history
+    snapshot) with the single-node Figure 2 entries, so
+    ``scripts/compare_bench_history.py --keys cluster`` can gate on
+    cluster CPS regressions.  Returns the full document written.
+    """
+    return _sweep.record_cluster_results(results, BENCH_FIG2_PATH,
+                                         history_dir=BENCH_HISTORY_DIR)
+
+
 def current_commit() -> str:
     """The abbreviated hash of HEAD (``"unversioned"`` outside git)."""
     return _sweep.current_commit(BENCH_FIG2_PATH.parent)

@@ -20,6 +20,8 @@ Usage::
     python scripts/compare_bench_history.py
     python scripts/compare_bench_history.py --threshold 0.4 --strict
     python scripts/compare_bench_history.py --baseline eec305d
+    python scripts/compare_bench_history.py --keys cluster \\
+        --fail-on-regression 60
 """
 
 from __future__ import annotations
@@ -142,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
                              "fell more than PCT percent below the "
                              "historical median and exit non-zero "
                              "(shorthand for --threshold PCT/100 --strict)")
+    parser.add_argument("--keys", default=None, metavar="PREFIX",
+                        help="only compare configuration keys starting "
+                             "with PREFIX (e.g. 'cluster' restricts the "
+                             "gate to the multi-node cells)")
     args = parser.parse_args(argv)
     if args.fail_on_regression is not None:
         args.threshold = args.fail_on_regression / 100.0
@@ -157,6 +163,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     history = load_history(args.history, current_commit_name(args.current),
                            args.baseline)
+    if args.keys is not None:
+        current = {key: entry for key, entry in current.items()
+                   if key.startswith(args.keys)}
+        if not current:
+            print(f"no current configurations match --keys {args.keys!r}; "
+                  f"nothing to compare")
+            return 0
 
     regressions = []
     fresh = []

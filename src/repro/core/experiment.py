@@ -388,13 +388,17 @@ class Figure2Experiment:
                         cpu_level: str = CPU_CYCLE,
                         variant: VariantName = VariantName.NATIVE_TYPES,
                         ping_count: int = 3,
-                        max_cycles: int = 200_000) -> "ClusterResult":
+                        max_cycles: int = 200_000,
+                        payload=None) -> "ClusterResult":
         """Run the ping/echo workload on an N-node cluster and time it.
 
         Node 0 pings, node 1 echoes; further nodes idle on the switch and
         only receive broadcast traffic.  The workload is the standing
         multi-node scenario (ROADMAP "scenario diversity"), so its speed
-        is reported alongside the single-node Figure 2 rows.
+        is reported alongside the single-node Figure 2 rows.  ``payload``
+        overrides the pinged frame body (a tuple of words); larger
+        payloads shift the round mix towards frame staging/draining,
+        which is what the traffic-at-scale benchmarks measure.
         """
         from ..platform import VanillaNetCluster, cluster_config
         from ..software import arithmetic_program
@@ -402,7 +406,11 @@ class Figure2Experiment:
         cluster = VanillaNetCluster(cluster_config(
             nodes, variant=variant, engine=engine, bus_level=bus_level,
             cpu_level=cpu_level))
-        ping, echo = ping_echo_programs(count=ping_count)
+        if payload is None:
+            ping, echo = ping_echo_programs(count=ping_count)
+        else:
+            ping, echo = ping_echo_programs(payload=tuple(payload),
+                                            count=ping_count)
         idle = [arithmetic_program() for _ in range(nodes - 2)]
         cluster.load_programs([ping, echo, *idle])
         started = time.perf_counter()
@@ -427,21 +435,47 @@ class Figure2Experiment:
             engines: Optional[Sequence[str]] = None,
             bus_levels: Optional[Sequence[str]] = None,
             cpu_levels: Optional[Sequence[str]] = None,
-            ping_count: int = 3) -> list["ClusterResult"]:
-        """Measure the cluster workload across the execution-seam matrix."""
+            ping_count: int = 3,
+            cache_dir=None) -> list["ClusterResult"]:
+        """Measure the cluster workload across the execution-seam matrix.
+
+        With ``cache_dir`` set, every cell is content-addressed through
+        the :class:`~repro.core.job.ResultCache` exactly like the
+        single-node sweeps: the cluster's programs, canonical model
+        config, run window and topology form the
+        :meth:`~repro.core.job.JobSpec.for_cluster` hash, and a repeated
+        comparison replays the cached measurements without booting a
+        kernel.
+        """
         from ..bus.transport import bus_levels as _all_bus_levels
         from ..iss.wrapper import cpu_levels as _all_cpu_levels
         from ..kernel.engine import engine_kinds as _all_engines
+        from .job import JobSpec, ResultCache
 
         engines = list(engines) if engines else list(_all_engines())
         bus_levels = list(bus_levels) if bus_levels \
             else list(_all_bus_levels())
         cpu_levels = list(cpu_levels) if cpu_levels \
             else list(_all_cpu_levels())
-        return [self.measure_cluster(nodes, engine=engine,
-                                     bus_level=bus_level,
-                                     cpu_level=cpu_level,
-                                     ping_count=ping_count)
-                for engine in engines
-                for bus_level in bus_levels
-                for cpu_level in cpu_levels]
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        results = []
+        for engine in engines:
+            for bus_level in bus_levels:
+                for cpu_level in cpu_levels:
+                    spec = None
+                    if cache is not None:
+                        spec = JobSpec.for_cluster(
+                            nodes, engine=engine, bus_level=bus_level,
+                            cpu_level=cpu_level, options=self.options,
+                            ping_count=ping_count)
+                        cached = cache.get(spec)
+                        if cached is not None:
+                            results.append(cached)
+                            continue
+                    result = self.measure_cluster(
+                        nodes, engine=engine, bus_level=bus_level,
+                        cpu_level=cpu_level, ping_count=ping_count)
+                    if cache is not None:
+                        cache.put(spec, result)
+                    results.append(result)
+        return results

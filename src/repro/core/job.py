@@ -153,6 +153,50 @@ class JobSpec:
             config.update(_canonical(model))
         return cls.build(program, config, window)
 
+    @classmethod
+    def for_cluster(cls, nodes: int, engine: str, bus_level: str,
+                    cpu_level: str,
+                    variant: VariantName = VariantName.NATIVE_TYPES,
+                    options: Optional[ExperimentOptions] = None,
+                    ping_count: int = 3, payload=None,
+                    max_cycles: int = 200_000,
+                    link_latency_cycles: int = 8) -> "JobSpec":
+        """The spec of one N-node ping/echo cluster cell.
+
+        Freezes everything ``measure_cluster`` feeds the kernel: every
+        node's program bytes (ping, echo, idle fillers), the canonical
+        per-node model config, the run window (``max_cycles`` plus the
+        chunking cadence) and the topology.  The per-frame ``payload``
+        is already part of the ping/echo program bytes, so it needs no
+        separate field.
+        """
+        from ..platform import cluster_config
+        from ..software import arithmetic_program
+        from ..software.netboot import ping_echo_programs
+
+        options = options or ExperimentOptions()
+        config = cluster_config(nodes, variant=variant, engine=engine,
+                                bus_level=bus_level, cpu_level=cpu_level,
+                                link_latency_cycles=link_latency_cycles)
+        if payload is None:
+            ping, echo = ping_echo_programs(count=ping_count)
+        else:
+            ping, echo = ping_echo_programs(payload=tuple(payload),
+                                            count=ping_count)
+        programs = [ping, echo]
+        programs += [arithmetic_program() for _ in range(nodes - 2)]
+        spec_config = {"variant": variant.value}
+        spec_config.update(_canonical(config))
+        window = {
+            "ping_count": ping_count,
+            "max_cycles": max_cycles,
+            "chunk_cycles": options.chunk_cycles,
+        }
+        return cls(program={"cluster": [_program_blob(program)
+                                        for program in programs]},
+                   config=spec_config, window=window, nodes=nodes,
+                   link_latency_cycles=config.link_latency_cycles)
+
     def content_hash(self) -> str:
         """The stable SHA-256 content address of this job (hex)."""
         return hashlib.sha256(canonical_json(self).encode()).hexdigest()

@@ -564,6 +564,40 @@ def merge_fig2_results(document: dict,
     return document
 
 
+def merge_cluster_results(document: dict, results) -> dict:
+    """Merge measured cluster cells into a ``BENCH_fig2.json`` document.
+
+    Cluster entries live alongside the single-node Figure 2 entries under
+    their natural ``cluster<N>/engine/bus_level/cpu_level`` keys (the same
+    keys the cluster comparison table prints), so the bench-history
+    ledger and ``scripts/compare_bench_history.py`` track their CPS
+    trajectory exactly like any other configuration.
+    """
+    entries = document.setdefault("entries", {})
+    for result in sorted(results, key=lambda r: r.key):
+        entries[result.key] = {
+            "nodes": result.node_count,
+            "engine": result.engine,
+            "bus_level": result.bus_level,
+            "cpu_level": result.cpu_level,
+            "cps_khz": round(result.cps_khz, 3),
+            "cycles": result.cycles,
+            "frames_delivered": result.frames_delivered,
+        }
+    return document
+
+
+def record_cluster_results(results, path: pathlib.Path,
+                           history_dir: Optional[pathlib.Path] = None
+                           ) -> dict:
+    """Load-merge-write cluster cells and update the history ledger."""
+    document = merge_cluster_results(load_fig2_results(path), results)
+    write_fig2_results(document, path)
+    if history_dir is not None:
+        record_bench_history(document, history_dir)
+    return document
+
+
 def write_fig2_results(document: dict, path: pathlib.Path) -> None:
     """Serialise a document byte-stably (sorted keys, trailing newline)."""
     pathlib.Path(path).write_text(

@@ -135,11 +135,20 @@ class MicroBlazeCore(SimComponent):
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
-    def step(self) -> StepResult:
-        """Fetch, decode and execute exactly one instruction."""
+    def step(self, take_interrupts: bool = True) -> StepResult:
+        """Fetch, decode and execute exactly one instruction.
+
+        ``take_interrupts=False`` commits the instruction even when an
+        interrupt is pending.  The cycle-accurate wrapper performs the
+        instruction's bus accesses *before* this zero-time execute; an
+        interrupt that rises during those accesses (a device write
+        raising its own level source) must wait for the next boundary --
+        vectoring here would leave the access's side effect in the
+        device and then re-execute the instruction after the handler.
+        """
         if self.halted:
             raise ModelError("cannot step a halted core")
-        if self._should_take_interrupt():
+        if take_interrupts and self._should_take_interrupt():
             return self._take_interrupt()
 
         pc = self.pc

@@ -32,7 +32,9 @@ from typing import Optional
 
 from ..bus.lmb import LMB_ACCESS_CYCLES, LocalMemoryBus
 from ..bus.opb import DATA_MASTER, INSTRUCTION_MASTER
-from ..bus.transport import BusTransport
+from ..bus.transport import (ACK_TO_MASTER_CYCLES, BUS_FUNCTIONAL,
+                             BUS_TRANSACTION, REQUEST_TO_GRANT_CYCLES,
+                             BusTransport)
 from ..datatypes import WORD_MASK
 from ..kernel.component import SimComponent
 from ..kernel.errors import ModelError
@@ -51,6 +53,20 @@ DISPATCHER_ACCESS_CYCLES = MemoryDispatcher.ACCESS_CYCLES
 
 #: Value masks per access size (hoisted for the warp loop).
 _SIZE_MASKS = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFF_FFFF}
+
+#: Sentinel returned by the in-warp peripheral access helpers when the
+#: access only has to wait for the link's delivery horizon to advance:
+#: the warp flushes the current sub-burst and retries the instruction.
+_WARP_RETRY = object()
+
+#: Instructions that can set ``MSR.IE``: ``rtid`` unconditionally, ``mts``
+#: to rmsr and ``msrset`` with bit 1 (both guarded conservatively by
+#: mnemonic -- they are rare).  While a warp runs with the interrupt
+#: request still latched in the core, any of these ends the warp *before*
+#: executing, so re-enabling interrupts (and the re-taken entry that
+#: follows) replays on the exact per-cycle edge.  None of them is a
+#: fall-through handler, so the basic-block fast path never hides one.
+_IE_SETTING_MNEMONICS = frozenset(("rtid", "mts", "msrset"))
 
 #: CPU abstraction-level selectors (``ModelConfig.cpu_level``), mirroring
 #: the ``engine`` and ``bus_level`` seams.  ``"cycle"`` is the per-cycle
@@ -77,11 +93,16 @@ class QuantumContext:
     exists (tracer, pin-level slave decoders, arbiter): the platform then
     simply stays on the per-cycle path.
 
-    ``ethernet`` opts the warp out *dynamically* while a network link is
-    attached to the MAC: another node may deliver a frame mid-quantum, and
-    the RX interrupt must land on exactly the cycle the per-cycle path
-    would take it on.  Unlike ``blocked`` this is not latched -- a
-    platform whose MAC is never linked keeps the full fast path.
+    ``ethernet`` *bounds* the warp dynamically while a network link is
+    attached to the MAC.  The link's fixed positive latency is a
+    conservative lookahead: ``earliest_delivery_ps`` is the soonest any
+    cross-node frame can reach this node, so bursts run freely up to (but
+    never across) that horizon.  While the MAC's RX interrupt is enabled
+    the horizon caps every burst -- a delivery still interrupts on
+    exactly the cycle the per-cycle path would take it on; while it is
+    disabled only RX-observing register accesses are pinned behind the
+    horizon.  A platform whose MAC is never linked keeps the unbounded
+    fast path.
     """
 
     def __init__(self, clock, uarts=(), timer=None, intc=None,
@@ -169,8 +190,19 @@ class MicroBlazeWrapper(Module, SimComponent):
         #: Optional cap on retired instructions (benchmark budgets).
         self.max_instructions: Optional[int] = None
         self.finished = False
+        #: Invoked (no arguments) when execution transitions to finished
+        #: -- a drained budget or the halt address.  A multi-node platform
+        #: hooks this to stop the kernel once every node is done instead
+        #: of simulating idle cycles to the next chunk boundary.
+        self.finish_callback = None
         #: CPU abstraction level ("cycle" until enable_quantum is called).
         self.cpu_level = CPU_CYCLE
+        #: While the execute thread is parked inside a warp this is the
+        #: simulated time it will resume on: a promise that this master
+        #: initiates no bus activity (in particular no ``TX_GO``) at any
+        #: earlier time.  ``None`` whenever no such promise holds; the
+        #: link fabric folds it into peers' delivery horizons.
+        self.decoupled_until_ps: Optional[int] = None
         #: Instructions per time quantum when temporally decoupled.
         self.quantum_instructions = 1024
         self._quantum: Optional[QuantumContext] = None
@@ -180,6 +212,11 @@ class MicroBlazeWrapper(Module, SimComponent):
         self._fetched_word = 0
         self._load_value = 0
         self._instruction_cycles = 0
+        #: Deferred action requested by an in-warp device access, applied
+        #: by the burst loop after the instruction retires: ``"flush"``
+        #: (surface at the horizon before continuing) or ``"ack"`` (an
+        #: interrupt acknowledge landed; drop the IE guard).
+        self._warp_post = None
         self.main_process = self.sc_thread(
             self._execute_thread, sensitive=[clock.posedge_event()],
             name="execute")
@@ -313,15 +350,22 @@ class MicroBlazeWrapper(Module, SimComponent):
                 continue
             if self._should_stop():
                 self.finished = True
+                if self.finish_callback is not None:
+                    self.finish_callback()
                 continue
             quantum = self._quantum
-            if quantum is not None and not quantum.blocked:
+            if quantum is not None and not quantum.blocked \
+                    and self._quantum_can_engage(quantum):
+                # The engage probe runs out here so a refused cycle costs
+                # one call, not a generator construction plus unwind.
                 if (yield from self._quantum_burst(quantum)):
                     continue
             if self.interceptor is not None:
                 self.interceptor.maybe_intercept(core)
                 if self._should_stop():
                     self.finished = True
+                    if self.finish_callback is not None:
+                        self.finish_callback()
                     continue
             self._instruction_cycles = 0
             if core.interrupt_will_be_taken():
@@ -345,8 +389,11 @@ class MicroBlazeWrapper(Module, SimComponent):
                 yield from self._data_write(address, value,
                                             instruction.access_size)
             # ---- execute in zero simulation time --------------------------
+            # The fetch and data access above already happened on the bus;
+            # an interrupt that rose during them waits for the next
+            # boundary (the will-be-taken check at the top of the loop).
             self._fetched_word = word
-            core.step()
+            core.step(take_interrupts=False)
             core.stats.add_cycles(self._instruction_cycles)
 
     def _should_stop(self) -> bool:
@@ -362,33 +409,32 @@ class MicroBlazeWrapper(Module, SimComponent):
     def _quantum_can_engage(self, ctx: QuantumContext) -> bool:
         """Cheapest-first quiescence checks; may latch ``ctx.blocked``."""
         core = self.core
+        servicing = False
         if core.interrupt_pending:
-            return False
-        ethernet = ctx.ethernet
-        if ethernet is not None and ethernet.link is not None:
-            # Temporal decoupling is disabled on multi-node platforms:
-            # cross-node frame deliveries must interrupt on-cycle.
-            return False
-        # The next fetch must be servable without simulated time, otherwise
-        # detaching and reverting every cycle would only add overhead.
-        pc = core.pc
-        if not (self.lmb is not None and self.lmb.claims(pc, 4)) \
-                and not (self.dispatcher is not None
-                         and self.dispatcher.serves_fetch(pc)):
-            dmi_region = getattr(self.transport, "dmi_region", None)
-            if dmi_region is None or dmi_region(pc)[0] is None:
+            if core.msr.interrupt_enable:
                 return False
+            # Interrupt service in progress: the request is latched in the
+            # core and MSR.IE is off, so it cannot be (re-)taken.  The warp
+            # may run the handler body -- it ends before any instruction
+            # that could set MSR.IE, and the controller acknowledge is an
+            # unknown device in-warp (the IAR write ends the warp and
+            # replays per-cycle), so entry and exit edges stay exact.
+            servicing = True
         intc = ctx.intc
         if intc is not None:
-            # No interrupt may be in flight: the output low and stable, no
-            # enabled pending source, and every asserted input latched (so
-            # re-polling during the warp would change nothing).
+            # Outside service no interrupt may be in flight: the output low
+            # and stable, no enabled pending source, and every asserted
+            # input latched (so re-polling during the warp would change
+            # nothing).  In service the output must be high, stable, and
+            # consistent with the latched state -- the detached poll would
+            # hold it exactly there.
             irq = intc.irq
-            if irq._current:
-                return False
             if irq._update_requested and irq._next != irq._current:
                 return False
-            if (intc.mer & 0x1) and (intc.isr & intc.ier):
+            level = 1 if (intc.mer & 0x1) and (intc.isr & intc.ier) else 0
+            if irq._current != level:
+                return False
+            if level and not servicing:
                 return False
             for bit, source in intc._inputs:
                 if source._update_requested \
@@ -397,14 +443,24 @@ class MicroBlazeWrapper(Module, SimComponent):
                 if source._current and not (intc.isr & (1 << bit)):
                     return False
         for uart in ctx.uarts:
-            # Transmit thread asleep on its own timeout, nothing buffered,
-            # and no interrupt generation the warp could delay.
+            # Transmit thread asleep on its own timeout and no interrupt
+            # generation the warp could delay.  A non-empty TX FIFO is
+            # fine: the warp replays the drain wakes it runs across.
             thread = uart._tx_thread
             if not thread._waiting_time:
                 return False
             if thread._timeout_event._pending_kind != "timed":
                 return False
-            if uart.interrupt_enabled or not uart.tx_fifo.empty:
+            if uart.interrupt_enabled:
+                return False
+        # The next fetch must be servable without simulated time, otherwise
+        # detaching and reverting every cycle would only add overhead.
+        pc = core.pc
+        if not (self.lmb is not None and self.lmb.claims(pc, 4)) \
+                and not (self.dispatcher is not None
+                         and self.dispatcher.serves_fetch(pc)):
+            dmi_region = getattr(self.transport, "dmi_region", None)
+            if dmi_region is None or dmi_region(pc)[0] is None:
                 return False
         clock = ctx.clock
         posedge = clock.posedge_event()
@@ -419,22 +475,48 @@ class MicroBlazeWrapper(Module, SimComponent):
             if event._static_procs or event._dynamic_procs:
                 ctx.blocked = True
                 return False
+        # Bounds within one cycle leave no room for even the cheapest
+        # instruction: the burst could only charge zero cycles and revert,
+        # so skip the detach/park round-trip and let the per-cycle path
+        # carry execution across the break point.
+        end_time = self.sim._run_end_time
+        if end_time is not None \
+                and end_time - self.sim.time_ps < clock.period_ps:
+            return False
+        ethernet = ctx.ethernet
+        if ethernet is not None and ethernet.link is not None \
+                and not ethernet.detached and ethernet.rx_interrupt_enabled:
+            horizon = ethernet.link.earliest_delivery_ps(ethernet.link_port)
+            if horizon - self.sim.time_ps < clock.period_ps:
+                return False
         return True
 
     def _quantum_burst(self, ctx: QuantumContext):
         """Execute up to one time quantum against DMI-backed memory.
 
-        Runs at a rising-edge activation.  Detaches every clock-driven
-        process, executes decoded instructions as straight-line Python while
-        accumulating the protocol-derived cycle cost, then charges the whole
-        quantum in a single timed wait and reconciles the detached state so
-        the next instruction starts on exactly the cycle the per-cycle path
-        would have reached.  Returns True when at least one cycle was
-        charged; False leaves the kernel state untouched so the caller runs
-        the ordinary per-cycle body.
+        Runs at a rising-edge activation, after ``_quantum_can_engage``
+        approved the platform state.  Detaches every clock-driven process,
+        executes decoded instructions as straight-line Python while
+        accumulating the protocol-derived cycle cost, then charges the
+        quantum in timed waits and reconciles the detached state so the
+        next instruction starts on exactly the cycle the per-cycle path
+        would have reached.
+
+        On a linked node the warp is additionally bounded by the link's
+        delivery horizon: while the MAC's RX interrupt is enabled, no
+        sub-burst runs across ``earliest_delivery_ps`` -- the warp
+        surfaces there, lets due frames deliver, and either keeps warping
+        (horizon moved, nothing arrived) or ends so the re-attached
+        interrupt wiring latches the RX interrupt on the exact per-cycle
+        cycle.  UART and linked-MAC register accesses are served in-line
+        with full fabric bookkeeping instead of ending the warp; accesses
+        that observe RX state are pinned strictly behind the horizon, and
+        ones that could move an interrupt edge end the warp first.
+
+        Returns True when at least one cycle was charged; False leaves
+        the kernel state untouched so the caller runs the ordinary
+        per-cycle body.
         """
-        if not self._quantum_can_engage(ctx):
-            return False
         core = self.core
         lmb = self.lmb
         dispatcher = self.dispatcher
@@ -449,26 +531,52 @@ class MicroBlazeWrapper(Module, SimComponent):
             posedge.remove_static(process)
         # Park the UART transmit timeouts: mark the queued notification
         # stale instead of cancelling (cancel rebuilds the generic heap).
-        parked = []
+        # Each record also tracks the thread's drain-wake grid so in-warp
+        # register accesses can replay the wakes that precede them:
+        # [uart, event, parked_pending_ps, sleep_ps, next_wake_ps, exact].
+        # ``exact`` starts True when characters are already buffered (their
+        # drains are observable) and latches True on any in-warp access;
+        # an exact uart replays every wake instead of skipping to now.
+        uart_states = []
         for uart in ctx.uarts:
             event = uart._tx_thread._timeout_event
-            parked.append((event, event._pending_time,
-                           uart.tx_sleep_cycles * period))
+            uart_states.append([uart, event, event._pending_time,
+                                uart.tx_sleep_cycles * period,
+                                event._pending_time,
+                                not uart.tx_fifo.empty])
             event._pending_kind = None
         # ---- warp horizon ---------------------------------------------
+        ethernet = ctx.ethernet
+        link = None
+        eth_port = 0
+        if ethernet is not None and ethernet.link is not None \
+                and not ethernet.detached:
+            link = ethernet.link
+            eth_port = ethernet.link_port
+        # A pre-existing high RX level (latched and being serviced, or
+        # IER-masked) cannot edge during the warp: new deliveries keep the
+        # level high without a signal transition, and every RX-observing
+        # access is pinned behind the horizon anyway.  Only a *rise* from
+        # low has interrupt timing to protect.
+        eth_irq_high = link is not None and bool(ethernet.interrupt._current)
+        # Latched while the core holds an unserviced interrupt request
+        # (stable for the whole warp: the detached controller poll is the
+        # only writer).  Guards the IE-setting instructions below.
+        guard_ie = core.interrupt_pending
         timer = ctx.timer
         ticking = timer is not None and timer.enabled
-        cycle_bound = (0x1_0000_0000 - timer.counter) if ticking else None
+        hard_bound = (0x1_0000_0000 - timer.counter) if ticking else None
         # Never warp past the end of the kernel's current run window: a
         # bounded ``run_cycles`` call must return with the same cycles
         # charged at every abstraction level, so stimulus the testbench
         # applies between run calls (suppression toggles, injected
         # characters) lands on the same instruction it would per-cycle.
+        warp_start = self.sim.time_ps
         end_time = self.sim._run_end_time
         if end_time is not None:
-            window = (end_time - self.sim.time_ps) // period
-            if cycle_bound is None or window < cycle_bound:
-                cycle_bound = window
+            window = (end_time - warp_start) // period
+            if hard_bound is None or window < hard_bound:
+                hard_bound = window
         budget = None
         if self.max_instructions is not None:
             budget = self.max_instructions - core.stats.instructions_retired
@@ -517,262 +625,355 @@ class MicroBlazeWrapper(Module, SimComponent):
                 main_data = disp_main._data
                 main_writable = not disp_main.read_only
         # ---- straight-line execution ----------------------------------
+        # ``cycles`` counts warp-relative charged cycles across sub-bursts,
+        # ``charged`` how many of them have already been paid to the kernel
+        # (at horizon flush points); the timeline invariant is
+        # ``now == warp_start + charged * period``.
         cycles = 0
+        charged = 0
         executed = 0
         prev = None
-        while executed < allowed:
-            pc = core.pc
-            if pc == halt and core._branch_after_delay is None:
-                break
-            if hooked is not None and pc in hooked \
-                    and interceptor.maybe_intercept(core) is not None:
-                prev = None
+        while True:
+            # Per-sub-burst bound: the nearest upcoming break point in
+            # warp-relative cycles.  The link horizon only bounds the
+            # sub-burst while the RX interrupt is enabled -- disabled, a
+            # delivery is invisible until software polls, and the
+            # RX-observing accesses themselves are pinned behind
+            # ``rx_horizon`` instead.
+            bound = hard_bound
+            link_limited = False
+            rx_horizon = None
+            if link is not None:
+                rx_horizon = link.earliest_delivery_ps(eth_port)
+                if ethernet.rx_interrupt_enabled:
+                    link_bound = (rx_horizon - warp_start) // period
+                    if bound is None or link_bound <= bound:
+                        bound = link_bound
+                        link_limited = True
+            flush = False
+            sub_start = cycles
+            while executed < allowed:
                 pc = core.pc
                 if pc == halt and core._branch_after_delay is None:
                     break
-            entry = None
-            if prev is not None:
-                chained = prev.next_entry
-                if chained is not None and chained.valid \
-                        and chained.pc == pc:
-                    entry = chained
-            if entry is None:
-                entry = core.decoded_entry(pc)
-            if entry is not None and entry.fetch_epoch == epoch:
-                fetch_cycles = entry.fetch_cycles
-            else:
-                if lmb is not None and lmb.claims(pc, 4):
-                    word = lmb.read(pc, 4)
-                    fetch_cycles = LMB_ACCESS_CYCLES
-                elif dispatcher is not None and dispatcher.serves_fetch(pc):
-                    word, fetch_cycles = dispatcher.fetch(pc)
-                else:
-                    served = transport.direct_read(INSTRUCTION_MASTER, pc, 4)
-                    if served is None:
+                if hooked is not None and pc in hooked \
+                        and interceptor.maybe_intercept(core) is not None:
+                    prev = None
+                    pc = core.pc
+                    if pc == halt and core._branch_after_delay is None:
                         break
-                    word, fetch_cycles = served
+                entry = None
+                if prev is not None:
+                    chained = prev.next_entry
+                    if chained is not None and chained.valid \
+                            and chained.pc == pc:
+                        entry = chained
                 if entry is None:
-                    entry = core.build_decoded(pc, word)
-                elif word != entry.word:
-                    # Self-modified since decode: rebuild from the fresh word.
-                    core.invalidate_code(pc, 4)
-                    entry = core.build_decoded(pc, word)
-                entry.fetch_cycles = fetch_cycles
-                entry.fetch_epoch = epoch
-            if prev is not None and prev.next_entry is not entry:
-                prev.next_entry = entry
-            # ---- basic-block fast path --------------------------------
-            if entry.falls_through and core._imm_prefix is None \
-                    and core._branch_after_delay is None:
-                block = entry.block
-                if block is None or block.epoch != epoch \
-                        or block.inval_stamp != stats.decoded_invalidations \
-                        or block.halt != halt:
-                    block = self._build_block(core, entry, epoch, halt,
-                                              split_pcs, stats)
-                if block is not None \
-                        and executed + block.count <= allowed \
-                        and (cycle_bound is None
-                             or cycles + block.cycles <= cycle_bound):
-                    for execute in block.executes:
-                        execute()
-                    core.pc = block.end_pc
-                    stats.instructions_retired += block.count
-                    for name, count in block.mnemonic_items:
-                        per_mnemonic[name] += count
-                    for name, count in block.function_items:
-                        per_function[name] += count
-                    cycles += block.cycles
-                    executed += block.count
-                    prev = block.last_entry
+                    entry = core.decoded_entry(pc)
+                if entry is not None and entry.fetch_epoch == epoch:
+                    fetch_cycles = entry.fetch_cycles
+                else:
+                    if lmb is not None and lmb.claims(pc, 4):
+                        word = lmb.read(pc, 4)
+                        fetch_cycles = LMB_ACCESS_CYCLES
+                    elif dispatcher is not None and dispatcher.serves_fetch(pc):
+                        word, fetch_cycles = dispatcher.fetch(pc)
+                    else:
+                        served = transport.direct_read(INSTRUCTION_MASTER, pc, 4)
+                        if served is None:
+                            break
+                        word, fetch_cycles = served
+                    if entry is None:
+                        entry = core.build_decoded(pc, word)
+                    elif word != entry.word:
+                        # Self-modified since decode: rebuild from the fresh word.
+                        core.invalidate_code(pc, 4)
+                        entry = core.build_decoded(pc, word)
+                    entry.fetch_cycles = fetch_cycles
+                    entry.fetch_epoch = epoch
+                if prev is not None and prev.next_entry is not entry:
+                    prev.next_entry = entry
+                # ---- basic-block fast path --------------------------------
+                if entry.falls_through and core._imm_prefix is None \
+                        and core._branch_after_delay is None:
+                    block = entry.block
+                    if block is None or block.epoch != epoch \
+                            or block.inval_stamp != stats.decoded_invalidations \
+                            or block.halt != halt:
+                        block = self._build_block(core, entry, epoch, halt,
+                                                  split_pcs, stats)
+                    if block is not None \
+                            and executed + block.count <= allowed \
+                            and (bound is None
+                                 or cycles + block.cycles <= bound):
+                        for execute in block.executes:
+                            execute()
+                        core.pc = block.end_pc
+                        stats.instructions_retired += block.count
+                        for name, count in block.mnemonic_items:
+                            per_mnemonic[name] += count
+                        for name, count in block.function_items:
+                            per_function[name] += count
+                        cycles += block.cycles
+                        executed += block.count
+                        prev = block.last_entry
+                        continue
+                # ---- inlined load/store execution -------------------------
+                if (entry.is_load or entry.is_store) \
+                        and core._imm_prefix is None:
+                    # The whole data instruction in-line: the precompiled
+                    # address closure, a direct backing-store access and the
+                    # PC chain -- exactly the state changes exec_load /
+                    # exec_store plus execute_decoded would make, minus the
+                    # call layers.  Misalignment and unservable targets break
+                    # out so the per-cycle path replays the instruction with
+                    # its full diagnostics.
+                    address = entry.ea()
+                    size = entry.access_size
+                    if size > 1 and address % size:
+                        break
+                    if entry.is_load:
+                        if bram is not None and bram_lo <= address \
+                                and address + size <= bram_end:
+                            lmb.reads += 1
+                            bram.read_accesses += 1
+                            offset = address - bram_lo
+                            value = int.from_bytes(
+                                bram_data[offset:offset + size], "big")
+                            data_cycles = LMB_ACCESS_CYCLES
+                        elif disp_main is not None and main_lo <= address \
+                                and address + size <= main_end:
+                            dispatcher.data_accesses += 1
+                            disp_main.read_accesses += 1
+                            offset = address - main_lo
+                            value = int.from_bytes(
+                                main_data[offset:offset + size], "big")
+                            data_cycles = DISPATCHER_ACCESS_CYCLES
+                        else:
+                            served = transport.direct_read(DATA_MASTER,
+                                                           address, size)
+                            if served is None:
+                                served = self._warp_device_read(
+                                    ctx, uart_states, address, size,
+                                    cycles + fetch_cycles, bound,
+                                    link_limited, rx_horizon, warp_start,
+                                    period)
+                                if served is None:
+                                    break
+                                if served is _WARP_RETRY:
+                                    flush = True
+                                    break
+                            value, data_cycles = served
+                        step_cycles = fetch_cycles + data_cycles
+                        if bound is not None \
+                                and cycles + step_cycles > bound:
+                            flush = link_limited
+                            break
+                        rd = entry.rd
+                        if rd:
+                            reg_values[rd] = value & _SIZE_MASKS[size]
+                        stats.loads += 1
+                    else:
+                        value = reg_values[entry.rd] & _SIZE_MASKS[size]
+                        if bram is not None and bram_lo <= address \
+                                and address + size <= bram_end:
+                            if not bram_writable:
+                                break
+                            lmb.writes += 1
+                            bram.write_accesses += 1
+                            offset = address - bram_lo
+                            bram_data[offset:offset + size] = value.to_bytes(
+                                size, "big")
+                            data_cycles = LMB_ACCESS_CYCLES
+                        elif disp_main is not None and main_lo <= address \
+                                and address + size <= main_end:
+                            if not main_writable:
+                                break
+                            dispatcher.data_accesses += 1
+                            disp_main.write_accesses += 1
+                            offset = address - main_lo
+                            main_data[offset:offset + size] = value.to_bytes(
+                                size, "big")
+                            data_cycles = DISPATCHER_ACCESS_CYCLES
+                        else:
+                            data_cycles = transport.direct_write(
+                                DATA_MASTER, address, value, size)
+                            if data_cycles is None:
+                                data_cycles = self._warp_device_write(
+                                    ctx, uart_states, address, value, size,
+                                    cycles + fetch_cycles, bound,
+                                    link_limited, rx_horizon, warp_start,
+                                    period)
+                                if data_cycles is None:
+                                    break
+                                if data_cycles is _WARP_RETRY:
+                                    flush = True
+                                    break
+                        step_cycles = fetch_cycles + data_cycles
+                        if bound is not None \
+                                and cycles + step_cycles > bound:
+                            # The store replays on the per-cycle path; DMI
+                            # stores are idempotent, so the replay is safe.
+                            flush = link_limited
+                            break
+                        stats.stores += 1
+                        if core._decoded:
+                            core.invalidate_code(address, size)
+                    target = core._branch_after_delay
+                    if target is not None:
+                        core.pc = target
+                        core._branch_after_delay = None
+                    else:
+                        core.pc = (pc + 4) & WORD_MASK
+                    stats.instructions_retired += 1
+                    per_mnemonic[entry.mnemonic] += 1
+                    if entry.function_name is not None:
+                        per_function[entry.function_name] += 1
+                    cycles += step_cycles
+                    executed += 1
+                    prev = entry
+                    if self._warp_post is not None:
+                        post = self._warp_post
+                        self._warp_post = None
+                        if post == "ack":
+                            guard_ie = False
+                        else:
+                            flush = True
+                            break
                     continue
-            # ---- inlined load/store execution -------------------------
-            if (entry.is_load or entry.is_store) \
-                    and core._imm_prefix is None:
-                # The whole data instruction in-line: the precompiled
-                # address closure, a direct backing-store access and the
-                # PC chain -- exactly the state changes exec_load /
-                # exec_store plus execute_decoded would make, minus the
-                # call layers.  Misalignment and unservable targets break
-                # out so the per-cycle path replays the instruction with
-                # its full diagnostics.
-                address = entry.ea()
-                size = entry.access_size
-                if size > 1 and address % size:
+                if guard_ie and entry.mnemonic in _IE_SETTING_MNEMONICS:
+                    # Servicing an interrupt: end the warp before anything
+                    # that could set MSR.IE, so the re-enable (and the
+                    # re-taken interrupt entry behind it) replays on the
+                    # exact per-cycle edge.
                     break
+                # Pre-execute an IMM-prefixed data access, exactly like the
+                # per-cycle path (the preview honours the active prefix).
+                data_cycles = 0
                 if entry.is_load:
+                    address = core.preview_effective_address(entry.instruction)
+                    size = entry.access_size
                     if bram is not None and bram_lo <= address \
                             and address + size <= bram_end:
                         lmb.reads += 1
-                        bram.read_accesses += 1
-                        offset = address - bram_lo
-                        value = int.from_bytes(
-                            bram_data[offset:offset + size], "big")
+                        value = bram.read(address, size)
                         data_cycles = LMB_ACCESS_CYCLES
                     elif disp_main is not None and main_lo <= address \
                             and address + size <= main_end:
                         dispatcher.data_accesses += 1
-                        disp_main.read_accesses += 1
-                        offset = address - main_lo
-                        value = int.from_bytes(
-                            main_data[offset:offset + size], "big")
+                        value = disp_main.read(address, size)
                         data_cycles = DISPATCHER_ACCESS_CYCLES
                     else:
-                        served = transport.direct_read(DATA_MASTER,
-                                                       address, size)
+                        served = transport.direct_read(DATA_MASTER, address, size)
                         if served is None:
                             break
                         value, data_cycles = served
-                    step_cycles = fetch_cycles + data_cycles
-                    if cycle_bound is not None \
-                            and cycles + step_cycles > cycle_bound:
-                        break
-                    rd = entry.rd
-                    if rd:
-                        reg_values[rd] = value & _SIZE_MASKS[size]
-                    stats.loads += 1
-                else:
-                    value = reg_values[entry.rd] & _SIZE_MASKS[size]
+                    self._load_value = value
+                elif entry.is_store:
+                    address = core.preview_effective_address(entry.instruction)
+                    size = entry.access_size
+                    value = core.preview_store_value(entry.instruction)
                     if bram is not None and bram_lo <= address \
                             and address + size <= bram_end:
-                        if not bram_writable:
-                            break
                         lmb.writes += 1
-                        bram.write_accesses += 1
-                        offset = address - bram_lo
-                        bram_data[offset:offset + size] = value.to_bytes(
-                            size, "big")
+                        bram.write(address, value, size)
                         data_cycles = LMB_ACCESS_CYCLES
                     elif disp_main is not None and main_lo <= address \
                             and address + size <= main_end:
-                        if not main_writable:
-                            break
                         dispatcher.data_accesses += 1
-                        disp_main.write_accesses += 1
-                        offset = address - main_lo
-                        main_data[offset:offset + size] = value.to_bytes(
-                            size, "big")
+                        disp_main.write(address, value, size)
                         data_cycles = DISPATCHER_ACCESS_CYCLES
                     else:
-                        data_cycles = transport.direct_write(
-                            DATA_MASTER, address, value, size)
+                        data_cycles = transport.direct_write(DATA_MASTER, address,
+                                                             value, size)
                         if data_cycles is None:
                             break
-                    step_cycles = fetch_cycles + data_cycles
-                    if cycle_bound is not None \
-                            and cycles + step_cycles > cycle_bound:
-                        # The store replays on the per-cycle path; DMI
-                        # stores are idempotent, so the replay is safe.
-                        break
-                    stats.stores += 1
-                    if core._decoded:
-                        core.invalidate_code(address, size)
-                target = core._branch_after_delay
-                if target is not None:
-                    core.pc = target
-                    core._branch_after_delay = None
+                step_cycles = fetch_cycles + data_cycles
+                if bound is not None \
+                        and cycles + step_cycles > bound:
+                    # Timer wrap / run window / link horizon ahead; flush
+                    # (horizon) or let the per-cycle path carry execution
+                    # across the break point (everything else).
+                    flush = link_limited
+                    break
+                if core._imm_prefix is None:
+                    # Inlined execute_decoded for the prefix-free case: the
+                    # specialised closure plus the PC chain and stats, without
+                    # the extra frame.  An IMM entry sets the prefix inside
+                    # its closure, so there is nothing to clear here.
+                    outcome = entry.execute()
+                    target = outcome[0]
+                    took_branch = outcome[1]
+                    pending = core._branch_after_delay
+                    if pending is not None:
+                        core.pc = pending
+                        core._branch_after_delay = None
+                    elif took_branch and entry.delay_slot:
+                        core._branch_after_delay = target
+                        core.pc = (pc + 4) & WORD_MASK
+                    elif took_branch:
+                        core.pc = target
+                    else:
+                        core.pc = (pc + 4) & WORD_MASK
+                    stats.instructions_retired += 1
+                    per_mnemonic[entry.mnemonic] += 1
+                    if took_branch:
+                        stats.branches_taken += 1
+                    if entry.function_name is not None:
+                        per_function[entry.function_name] += 1
                 else:
-                    core.pc = (pc + 4) & WORD_MASK
-                stats.instructions_retired += 1
-                per_mnemonic[entry.mnemonic] += 1
-                if entry.function_name is not None:
-                    per_function[entry.function_name] += 1
+                    core.execute_decoded(entry)
                 cycles += step_cycles
                 executed += 1
                 prev = entry
-                continue
-            # Pre-execute an IMM-prefixed data access, exactly like the
-            # per-cycle path (the preview honours the active prefix).
-            data_cycles = 0
-            if entry.is_load:
-                address = core.preview_effective_address(entry.instruction)
-                size = entry.access_size
-                if bram is not None and bram_lo <= address \
-                        and address + size <= bram_end:
-                    lmb.reads += 1
-                    value = bram.read(address, size)
-                    data_cycles = LMB_ACCESS_CYCLES
-                elif disp_main is not None and main_lo <= address \
-                        and address + size <= main_end:
-                    dispatcher.data_accesses += 1
-                    value = disp_main.read(address, size)
-                    data_cycles = DISPATCHER_ACCESS_CYCLES
-                else:
-                    served = transport.direct_read(DATA_MASTER, address, size)
-                    if served is None:
-                        break
-                    value, data_cycles = served
-                self._load_value = value
-            elif entry.is_store:
-                address = core.preview_effective_address(entry.instruction)
-                size = entry.access_size
-                value = core.preview_store_value(entry.instruction)
-                if bram is not None and bram_lo <= address \
-                        and address + size <= bram_end:
-                    lmb.writes += 1
-                    bram.write(address, value, size)
-                    data_cycles = LMB_ACCESS_CYCLES
-                elif disp_main is not None and main_lo <= address \
-                        and address + size <= main_end:
-                    dispatcher.data_accesses += 1
-                    disp_main.write(address, value, size)
-                    data_cycles = DISPATCHER_ACCESS_CYCLES
-                else:
-                    data_cycles = transport.direct_write(DATA_MASTER, address,
-                                                         value, size)
-                    if data_cycles is None:
-                        break
-            step_cycles = fetch_cycles + data_cycles
-            if cycle_bound is not None \
-                    and cycles + step_cycles > cycle_bound:
-                # Timer would wrap mid-quantum; let the per-cycle path (or
-                # the next quantum) carry execution across the expiry.
+            if not flush or cycles == sub_start:
+                # Budget, halt, an unservable access or a non-horizon bound
+                # ends the warp; so does a horizon flush that made no
+                # progress (the per-cycle path then carries one instruction
+                # across the horizon).
                 break
-            if core._imm_prefix is None:
-                # Inlined execute_decoded for the prefix-free case: the
-                # specialised closure plus the PC chain and stats, without
-                # the extra frame.  An IMM entry sets the prefix inside
-                # its closure, so there is nothing to clear here.
-                outcome = entry.execute()
-                target = outcome[0]
-                took_branch = outcome[1]
-                pending = core._branch_after_delay
-                if pending is not None:
-                    core.pc = pending
-                    core._branch_after_delay = None
-                elif took_branch and entry.delay_slot:
-                    core._branch_after_delay = target
-                    core.pc = (pc + 4) & WORD_MASK
-                elif took_branch:
-                    core.pc = target
-                else:
-                    core.pc = (pc + 4) & WORD_MASK
-                stats.instructions_retired += 1
-                per_mnemonic[entry.mnemonic] += 1
-                if took_branch:
-                    stats.branches_taken += 1
-                if entry.function_name is not None:
-                    per_function[entry.function_name] += 1
-            else:
-                core.execute_decoded(entry)
-            cycles += step_cycles
-            executed += 1
-            prev = entry
+            # ---- horizon flush ----------------------------------------
+            # Surface exactly at the sub-burst end.  Frames due here are
+            # delivered in the timed phase, before this thread resumes, so
+            # the MAC/link state below is final for this cycle.  The
+            # parked-until promise lets peers chain their own horizons off
+            # this node's virtual position instead of the kernel clock.
+            self.decoupled_until_ps = warp_start + cycles * period
+            yield (cycles - charged) * period
+            charged = cycles
+            eth_irq = ethernet.interrupt
+            if not eth_irq_high \
+                    and (eth_irq._current or eth_irq._update_requested):
+                # A delivery raised (or is about to commit) the RX
+                # interrupt: end the warp so the re-attached controller
+                # poll latches it on this very edge, exactly per-cycle.
+                # (A level that was already high at the last flush stays
+                # high -- or falls edge-invisibly behind the in-warp mask
+                # write -- so it has no timing to protect.)
+                break
+            # Re-latch against the level as of this flush: a warp may now
+            # span the handler's mask and the bottom half's re-enable, so
+            # a fall behind the mask must make later rises visible again.
+            eth_irq_high = bool(eth_irq._next if eth_irq._update_requested
+                                else eth_irq._current)
         if cycles == 0:
             # Nothing charged: restore the world untouched, zero cost.  The
             # parked notifications are revived in place via the kernel's
             # staleness rule, so no queue traffic happens either.
             for process in detached:
                 posedge.add_static(process)
-            for event, pending_time, __ in parked:
+            for record in uart_states:
+                event = record[1]
                 event._pending_kind = "timed"
-                event._pending_time = pending_time
+                event._pending_time = record[2]
             return False
         stats.add_cycles(cycles)
         stats.quantum_warps += 1
         stats.quantum_instructions += executed
-        # ---- charge the whole quantum in one timed wait ---------------
-        yield cycles * period
+        # ---- charge the rest of the quantum in one timed wait ---------
+        if cycles > charged:
+            self.decoupled_until_ps = warp_start + cycles * period
+            yield (cycles - charged) * period
         # ---- reconcile ------------------------------------------------
         if ticking:
             # The final increment happens live: the re-attached count
@@ -782,8 +983,18 @@ class MicroBlazeWrapper(Module, SimComponent):
         for process in detached:
             posedge.add_static(process)
         now = self.sim.time_ps
-        for event, pending_time, sleep_ps in parked:
-            if pending_time >= now:
+        for record in uart_states:
+            uart, event, pending_time, sleep_ps, next_wake, exact = record
+            if exact:
+                # An observed uart: replay the remaining wakes it owes (the
+                # ones strictly before now), then resume live on its own
+                # wake grid -- activation counts and drain timing match the
+                # per-cycle path exactly.
+                if next_wake < now:
+                    self._warp_uart_replay(record, now - 1)
+                    next_wake = record[4]
+                event.notify(next_wake - now)
+            elif pending_time >= now:
                 event.notify(pending_time - now)
             else:
                 behind = now - pending_time
@@ -791,7 +1002,233 @@ class MicroBlazeWrapper(Module, SimComponent):
                 event.notify(pending_time + catch_up - now)
         # Re-align with the rising edge this wait matured on.
         yield None
+        self.decoupled_until_ps = None
         return True
+
+    # -- in-warp peripheral access -------------------------------------------
+    def _warp_device_read(self, ctx, uart_states, address, size, base_cycles,
+                          bound, link_limited, rx_horizon, warp_start,
+                          period):
+        """Serve a UART / linked-MAC load in-line during a warp, if safe.
+
+        ``base_cycles`` is the warp-relative cycle the transfer starts on;
+        the slave access itself lands ``REQUEST_TO_GRANT_CYCLES`` plus the
+        decode latency later, exactly where the pin-accurate protocol puts
+        it.  Returns ``(value, data_cycles)`` with the access performed and
+        accounted as the TLM fabrics would, ``None`` when the warp must end
+        (unknown peripheral, or a bound the per-cycle path has to carry
+        execution across), or ``_WARP_RETRY`` when the access merely has to
+        wait for the link horizon to move (the caller flushes the current
+        sub-burst and retries the instruction).
+        """
+        transport = self.transport
+        if transport.kind not in (BUS_TRANSACTION, BUS_FUNCTIONAL):
+            return None
+        ethernet = ctx.ethernet
+        if ethernet is not None and ethernet.link is not None \
+                and not ethernet.detached \
+                and ethernet.base_address <= address < ethernet.end_address:
+            pre_access = REQUEST_TO_GRANT_CYCLES \
+                + (0 if ethernet.gated else ethernet.latency)
+            data_cycles = pre_access + ACK_TO_MASTER_CYCLES
+            if bound is not None and base_cycles + data_cycles > bound:
+                return _WARP_RETRY if link_limited else None
+            # MAC state is only final strictly before the delivery horizon:
+            # a frame may land exactly there and per-cycle reads at that
+            # edge would already see it.  Head-frame reads are exempt while
+            # the RX queue is non-empty -- deliveries append behind the
+            # head, so ``RX_LEN``/``RX_DATA`` return the same values in
+            # either order (this is what lets the masked interrupt
+            # handler's drain loop stay in-warp).  Registers deliveries
+            # never touch are exempt outright; emptiness and count
+            # observers (``STATUS``, ``RX_STATUS``) stay pinned.
+            if rx_horizon is not None and warp_start \
+                    + (base_cycles + pre_access) * period >= rx_horizon:
+                offset = (address - ethernet.base_address) & 0xFFC
+                if offset in (ethernet.REG_RX_DATA, ethernet.REG_RX_LEN):
+                    if not ethernet._rx_frames:
+                        return _WARP_RETRY
+                elif offset not in (ethernet.REG_CONTROL,
+                                    ethernet.REG_MAC_HIGH,
+                                    ethernet.REG_MAC_LOW,
+                                    ethernet.REG_TX_STATUS):
+                    return _WARP_RETRY
+            transport._grant(DATA_MASTER)
+            value = ethernet.target_read(address, size)
+            transport._account(DATA_MASTER, data_cycles)
+            if transport.kind == BUS_FUNCTIONAL:
+                transport.target_accesses += 1
+            return value, data_cycles
+        for record in uart_states:
+            uart = record[0]
+            if uart.detached or not (uart.base_address <= address
+                                     < uart.end_address):
+                continue
+            pre_access = REQUEST_TO_GRANT_CYCLES \
+                + (0 if uart.gated else uart.latency)
+            data_cycles = pre_access + ACK_TO_MASTER_CYCLES
+            if bound is not None and base_cycles + data_cycles > bound:
+                return _WARP_RETRY if link_limited else None
+            # Drain wakes due up to the access edge run first per-cycle
+            # (their timed notifications were queued cycles earlier), so
+            # replay them before reading cycle-varying FIFO state.
+            self._warp_uart_replay(
+                record, warp_start + (base_cycles + pre_access) * period)
+            transport._grant(DATA_MASTER)
+            value = uart.target_read(address, size)
+            transport._account(DATA_MASTER, data_cycles)
+            if transport.kind == BUS_FUNCTIONAL:
+                transport.target_accesses += 1
+            return value, data_cycles
+        return None
+
+    def _warp_device_write(self, ctx, uart_states, address, value, size,
+                           base_cycles, bound, link_limited, rx_horizon,
+                           warp_start, period):
+        """Serve a UART / linked-MAC store in-line during a warp, if safe.
+
+        Same contract as :meth:`_warp_device_read`, returning the cycle
+        annotation instead of a value.  Stores that could move an interrupt
+        edge -- enabling the MAC's RX interrupt, enabling a UART's
+        interrupt -- end the warp *before* executing, so the per-cycle path
+        replays them and the interrupt wiring sees the transition on the
+        exact cycle it would have per-cycle.
+        """
+        transport = self.transport
+        if transport.kind not in (BUS_TRANSACTION, BUS_FUNCTIONAL):
+            return None
+        ethernet = ctx.ethernet
+        if ethernet is not None and ethernet.link is not None \
+                and not ethernet.detached \
+                and ethernet.base_address <= address < ethernet.end_address:
+            offset = (address - ethernet.base_address) & 0xFFC
+            pre_access = REQUEST_TO_GRANT_CYCLES \
+                + (0 if ethernet.gated else ethernet.latency)
+            data_cycles = pre_access + ACK_TO_MASTER_CYCLES
+            if bound is not None and base_cycles + data_cycles > bound:
+                return _WARP_RETRY if link_limited else None
+            edge_ps = warp_start + (base_cycles + pre_access) * period
+            if offset == ethernet.REG_CONTROL \
+                    and (value & ethernet.CONTROL_RX_IE) \
+                    and not ethernet.rx_interrupt_enabled:
+                if ethernet._rx_frames:
+                    # Enabling with frames queued raises the RX interrupt
+                    # on the store's own cycle: per-cycle territory.
+                    return None
+                if rx_horizon is not None and edge_ps >= rx_horizon:
+                    # A delivery may be due before the store lands; surface
+                    # at the horizon first and retry against fresh state.
+                    return _WARP_RETRY
+                # Queue empty and no delivery can precede the store, so the
+                # interrupt level stays low and the write itself is
+                # edge-invisible.  Ask the burst loop to flush right after
+                # this instruction: the next sub-burst then recomputes its
+                # bound under the newly horizon-limited regime.
+                self._warp_post = "flush"
+            elif offset in (ethernet.REG_RX_ACK, ethernet.REG_STATUS) \
+                    and rx_horizon is not None and edge_ps >= rx_horizon:
+                # Both interact with delivery ordering (queue head pop,
+                # sticky-overflow W1C) -- only final before the horizon.
+                return _WARP_RETRY
+            transport._grant(DATA_MASTER)
+            if offset == ethernet.REG_TX_GO:
+                # Commit the frame at the access edge's *virtual* time so
+                # the link derives the same delivery due time the
+                # per-cycle path would have produced.
+                ethernet.tx_commit_ps = edge_ps
+                try:
+                    ethernet.target_write(address, value, size)
+                finally:
+                    ethernet.tx_commit_ps = None
+            else:
+                ethernet.target_write(address, value, size)
+            transport._account(DATA_MASTER, data_cycles)
+            if transport.kind == BUS_FUNCTIONAL:
+                transport.target_accesses += 1
+            return data_cycles
+        intc = ctx.intc
+        if intc is not None and not intc.detached \
+                and intc.base_address <= address < intc.end_address:
+            if ((address - intc.base_address) & 0x1F) != intc.REG_IAR:
+                return None
+            # An interrupt acknowledge can be served in-warp when it
+            # provably drops the controller output to zero and nothing can
+            # immediately re-raise it: no enabled source stays pending and
+            # every input line is low and stable (a high input would
+            # re-latch ISR on the very next poll).  The handler's ``rtid``
+            # may then run in-warp too -- the caller clears its IE guard.
+            if (intc.mer & 0x1) and ((intc.isr & ~value) & intc.ier):
+                return None
+            irq = intc.irq
+            if not irq._current or irq._update_requested:
+                return None
+            for _bit, source in intc._inputs:
+                if source._current or source._update_requested:
+                    return None
+            pre_access = REQUEST_TO_GRANT_CYCLES \
+                + (0 if intc.gated else intc.latency)
+            data_cycles = pre_access + ACK_TO_MASTER_CYCLES
+            if bound is not None and base_cycles + data_cycles > bound:
+                return _WARP_RETRY if link_limited else None
+            transport._grant(DATA_MASTER)
+            intc.target_write(address, value, size)
+            transport._account(DATA_MASTER, data_cycles)
+            if transport.kind == BUS_FUNCTIONAL:
+                transport.target_accesses += 1
+            # The acknowledge scheduled the output's fall; apply it
+            # synchronously (the queued signal update re-applies the same
+            # value, a no-op) and clear the core's latched request so the
+            # service epilogue stays in-warp.
+            irq._current = 0
+            self.core.clear_interrupt()
+            self._warp_post = "ack"
+            return data_cycles
+        for record in uart_states:
+            uart = record[0]
+            if uart.detached or not (uart.base_address <= address
+                                     < uart.end_address):
+                continue
+            if ((address - uart.base_address) & 0xF) == uart.REG_CONTROL \
+                    and (value & uart.CONTROL_ENABLE_INTERRUPT):
+                return None
+            pre_access = REQUEST_TO_GRANT_CYCLES \
+                + (0 if uart.gated else uart.latency)
+            data_cycles = pre_access + ACK_TO_MASTER_CYCLES
+            if bound is not None and base_cycles + data_cycles > bound:
+                return _WARP_RETRY if link_limited else None
+            self._warp_uart_replay(
+                record, warp_start + (base_cycles + pre_access) * period)
+            record[5] = True
+            transport._grant(DATA_MASTER)
+            uart.target_write(address, value, size)
+            transport._account(DATA_MASTER, data_cycles)
+            if transport.kind == BUS_FUNCTIONAL:
+                transport.target_accesses += 1
+            return data_cycles
+        return None
+
+    def _warp_uart_replay(self, record, edge_ps: int) -> None:
+        """Replay the UART's drain wakes due up to ``edge_ps`` (inclusive).
+
+        Exactly the per-activation body of the transmit thread (interrupt
+        generation is engage-refused during a warp), applied along the
+        parked thread's own wake grid.  Marks the uart *exact*: its
+        remaining wakes replay at warp end instead of being skipped.
+        """
+        wake = record[4]
+        if wake > edge_ps:
+            return
+        uart = record[0]
+        sleep_ps = record[3]
+        fifo = uart.tx_fifo
+        console = uart.console
+        while wake <= edge_ps:
+            uart.tx_thread_activations += 1
+            while not fifo.empty:
+                console.write_char(fifo.nb_read())
+            wake += sleep_ps
+        record[4] = wake
+        record[5] = True
 
     def _build_block(self, core, first, epoch: int, halt: int, split_pcs,
                      stats):

@@ -198,27 +198,47 @@ class ClockedEngine(SimulationEngine):
         adopted = self._adopted
         while True:
             # Bulk edge skip: while the quantum fast path has every
-            # clock-driven process detached, the edge events have no
-            # subscribers and every edge before the next bucketed
-            # notification (typically the quantum's single timed wait)
-            # would be a silent step.  Produce those edges arithmetically
-            # in one batch instead of iterating the loop per half-period.
-            if len(adopted) == 1:
-                entry = adopted[0]
-                clock = entry.clock
-                t = entry.next_edge_ps
-                if t is not None and clock._running:
-                    limit = bucket_heap[0] if bucket_heap else None
-                    if end_time is not None and (limit is None
-                                                 or end_time < limit):
-                        limit = end_time
-                    if limit is not None and t < limit \
-                            and not (clock._posedge_event._static_procs
-                                     or clock._posedge_event._dynamic_procs
-                                     or clock._negedge_event._static_procs
-                                     or clock._negedge_event._dynamic_procs
-                                     or clock._changed_event._static_procs
-                                     or clock._changed_event._dynamic_procs):
+            # clock-driven process detached, a clock's edge events have no
+            # subscribers and every edge before the next *observable*
+            # activity -- a bucketed notification (typically the quantum's
+            # single timed wait), the run-window end, or an edge of a clock
+            # somebody does watch -- would be a silent step.  Produce those
+            # edges arithmetically in one batch instead of iterating the
+            # loop per half-period.  Only a running process can subscribe,
+            # and processes only run at observable activations, so a silent
+            # clock cannot gain a subscriber before ``limit``; silent
+            # clocks cannot wake anything, so they do not constrain each
+            # other (this is what lets every node clock of a warping
+            # multi-node cluster skip at once).
+            if adopted:
+                limit = bucket_heap[0] if bucket_heap else None
+                if end_time is not None and (limit is None
+                                             or end_time < limit):
+                    limit = end_time
+                silent = None
+                for entry in adopted:
+                    clock = entry.clock
+                    t = entry.next_edge_ps
+                    if t is None or not clock._running:
+                        continue
+                    if (clock._posedge_event._static_procs
+                            or clock._posedge_event._dynamic_procs
+                            or clock._negedge_event._static_procs
+                            or clock._negedge_event._dynamic_procs
+                            or clock._changed_event._static_procs
+                            or clock._changed_event._dynamic_procs):
+                        if limit is None or t < limit:
+                            limit = t
+                    elif silent is None:
+                        silent = [entry]
+                    else:
+                        silent.append(entry)
+                if silent is not None and limit is not None:
+                    for entry in silent:
+                        t = entry.next_edge_ps
+                        if t >= limit:
+                            continue
+                        clock = entry.clock
                         value = clock._value
                         high_ps = clock.high_ps
                         low_ps = clock.low_ps
@@ -233,7 +253,8 @@ class ClockedEngine(SimulationEngine):
                             # t+high) whose edges all mature before limit.
                             span = limit - t
                             if span > high_ps:
-                                whole = (span - high_ps - 1) // period_ps + 1
+                                whole = (span - high_ps - 1) // period_ps \
+                                    + 1
                                 pos += whole
                                 neg += whole
                                 t += whole * period_ps

@@ -30,6 +30,7 @@ from collections import deque
 
 from ..bus.opb import OpbSlave
 from ..bus.signals import OpbInterconnect
+from ..bus.transport import ACK_TO_MASTER_CYCLES, REQUEST_TO_GRANT_CYCLES
 from ..datatypes import WORD_MASK
 from ..kernel.engine import SimulationEngine
 from ..signals import Signal
@@ -84,6 +85,21 @@ class EthernetMacProxy(OpbSlave):
             self.REG_RX_STATUS: 0,
         }
         self.interrupt = Signal(sim, f"{name}.interrupt", 0)
+        #: Defers CPU-store-driven interrupt level changes by one delta.
+        #: The fast fabrics run ``target_write`` *before* the access
+        #: edge's clocked processes dispatch, so an immediate
+        #: ``interrupt.write`` there would be latched by the interrupt
+        #: controller's same-edge poll -- one cycle earlier than on the
+        #: signal fabric, where the decode process performs the write
+        #: during the edge and the deferred signal update is only
+        #: visible to the *next* poll.  Routing store-driven updates
+        #: through a delta notification lands them after the current
+        #: edge's poll on every fabric.  Link deliveries keep the
+        #: immediate path: their timing is fabric-independent already.
+        self._interrupt_refresh = sim.create_event(f"{name}.irq_refresh")
+        sim.spawn_method(f"{name}.irq_refresh", self._update_interrupt,
+                         sensitive=(self._interrupt_refresh,),
+                         dont_initialize=True)
         #: Count of driver accesses (shows how rare this peripheral's
         #: traffic is, motivating the gating optimisation).
         self.access_count = 0
@@ -93,6 +109,15 @@ class EthernetMacProxy(OpbSlave):
         self.link = None
         #: Endpoint index on the link, assigned by ``link.attach``.
         self.link_port: int | None = None
+        #: Simulated time a temporally-decoupled master's ``TX_GO`` landed
+        #: on (ahead of the kernel clock); None outside a warp, so normal
+        #: per-cycle commits use the kernel's notion of *now*.
+        self.tx_commit_ps: int | None = None
+        #: The CPU wrapper that is the only bus master able to reach this
+        #: MAC's ``TX_GO`` (set by the owning platform).  Lets the link
+        #: fabric chain delivery horizons off the master's parked-ahead
+        #: position instead of the kernel clock.
+        self.tx_master = None
         #: TX staging FIFO (words written through ``TX_DATA``).
         self._tx_staging: list[int] = []
         #: Received frames awaiting software, oldest first.
@@ -123,6 +148,51 @@ class EthernetMacProxy(OpbSlave):
     @property
     def rx_interrupt_enabled(self) -> bool:
         return bool(self.registers[self.REG_CONTROL] & self.CONTROL_RX_IE)
+
+    def tx_commit_floor_ps(self, now: int) -> int:
+        """Earliest simulated time this MAC could commit a *new* frame.
+
+        ``now`` for an actively executing master; the parked-ahead resume
+        time while the master is warped past the kernel clock (it promised
+        to initiate nothing earlier); effectively never for a finished
+        (halted) master.  Frames already committed are not covered -- they
+        sit in the link's in-flight list with their own due times.
+
+        A parked master resumes *between* instructions, so a new commit
+        additionally needs at least the ``TX_GO`` store's fetch (1 cycle
+        on the fastest path) plus the bus request-to-grant delay before
+        the write can land on this register file -- and, while the TX
+        staging FIFO is empty, a complete ``TX_DATA`` store before that
+        (a ``TX_GO`` with nothing staged transmits nothing).  Folding
+        that structural minimum into the floor widens every peer's warp
+        horizon by the same amount.
+        """
+        master = self.tx_master
+        if master is None:
+            return now
+        if master.finished:
+            # A halted CPU transmits nothing more; 2**62 ps is ~52 days of
+            # simulated time, far past any run window.
+            return 1 << 62
+        floor = master.decoupled_until_ps
+        if floor is None or floor < now:
+            return now
+        margin = 1 + REQUEST_TO_GRANT_CYCLES
+        if not self._tx_staging:
+            margin += 1 + REQUEST_TO_GRANT_CYCLES + ACK_TO_MASTER_CYCLES
+        return floor + margin * self.clock.period_ps
+
+    def delivery_horizon_ps(self) -> int | None:
+        """Earliest simulated time the link can deliver a frame to this MAC.
+
+        None while no link is attached (the proxy then never receives).
+        This is the warp horizon the quantum-mode ISS uses as a burst
+        bound: RX state observed strictly before this time is guaranteed
+        final, and the RX interrupt cannot rise before it.
+        """
+        if self.link is None:
+            return None
+        return self.link.earliest_delivery_ps(self.link_port)
 
     def _update_interrupt(self) -> None:
         level = 1 if (self._rx_frames and self.rx_interrupt_enabled) else 0
@@ -203,7 +273,7 @@ class EthernetMacProxy(OpbSlave):
     def _linked_write(self, offset: int, value: int) -> None:
         if offset == self.REG_CONTROL:
             self.registers[self.REG_CONTROL] = value
-            self._update_interrupt()
+            self._interrupt_refresh.notify_delta()
         elif offset == self.REG_TX_DATA:
             if len(self._tx_staging) < self.MAX_FRAME_WORDS:
                 self._tx_staging.append(value)
@@ -213,7 +283,7 @@ class EthernetMacProxy(OpbSlave):
             if self._rx_frames:
                 self._rx_frames.popleft()
             self._rx_cursor = 0
-            self._update_interrupt()
+            self._interrupt_refresh.notify_delta()
 
     def _transmit(self, byte_length: int) -> None:
         staged = b"".join(word.to_bytes(4, "big")
@@ -224,7 +294,8 @@ class EthernetMacProxy(OpbSlave):
             return
         self.frames_sent += 1
         self.registers[self.REG_TX_STATUS] = self.frames_sent & WORD_MASK
-        self.link.transmit(self, staged[:length])
+        self.link.transmit(self, staged[:length],
+                           commit_ps=self.tx_commit_ps)
 
     def _pop_rx_word(self) -> int:
         if not self._rx_frames:

@@ -81,17 +81,65 @@ class NetworkSwitch(SimComponent):
         mac.attach_link(self, port)
         return port
 
-    def transmit(self, mac, payload: bytes) -> None:
-        """Called by a MAC on ``TX_GO``; enqueues one frame per peer."""
+    def transmit(self, mac, payload: bytes,
+                 commit_ps: Optional[int] = None) -> None:
+        """Called by a MAC on ``TX_GO``; enqueues one frame per peer.
+
+        ``commit_ps`` is the commit's position on the simulated timeline;
+        it defaults to *now* but a temporally-decoupled master that has
+        run ahead of the kernel clock passes the virtual cycle its
+        ``TX_GO`` landed on.  Commits never lie in the kernel's past, so
+        the frame stays a full ``latency_ps`` of lookahead away from
+        every receiver.
+        """
         src = mac.link_port
         self._port_seq[src] += 1
         seq = self._port_seq[src]
-        due = self.sim.time_ps + self.latency_ps
+        now = self.sim.time_ps
+        if commit_ps is None:
+            commit_ps = now
+        due = commit_ps + self.latency_ps
         self.frames_switched += 1
         for dest in range(len(self.endpoints)):
             if dest != src:
                 self._in_flight.append((due, src, seq, dest, payload))
-        self.sim.schedule_action(self.latency_ps, self._deliver_due)
+        self.sim.schedule_action(max(due - now, 0), self._deliver_due)
+
+    def earliest_delivery_ps(self, port: int) -> int:
+        """Earliest simulated time a frame can reach ``port``.
+
+        The conservative-lookahead bound of the warp-horizon protocol:
+        the minimum over (a) due times of frames already in flight
+        towards ``port`` and (b) each peer's earliest possible *new*
+        commit plus ``latency_ps``.  A peer's commit floor is *now* by
+        default -- a frame committed from now on cannot arrive sooner
+        than ``now + latency_ps`` -- but a peer whose CPU is itself
+        warped ahead and parked until time W cannot commit before W, so
+        its bound is ``W + latency_ps``.  This chaining is what lets two
+        decoupled nodes leapfrog each other in ``2 x latency`` hops
+        instead of latency-sized ones.  A node may safely run ahead to
+        (but not across) the returned time without risking a missed RX
+        delivery, even while its peers are warping in the same
+        evaluation phase: their virtual commits only push deliveries
+        further out.
+        """
+        now = self.sim.time_ps
+        latency = self.latency_ps
+        horizon = None
+        for src, mac in enumerate(self.endpoints):
+            if src == port:
+                continue
+            bound = mac.tx_commit_floor_ps(now) + latency
+            if horizon is None or bound < horizon:
+                horizon = bound
+        if horizon is None:
+            # A port alone on the switch can never receive; keep the
+            # plain-lookahead value for uniformity.
+            horizon = now + latency
+        for due, _src, _seq, dest, _payload in self._in_flight:
+            if dest == port and due < horizon:
+                horizon = due
+        return horizon
 
     def _deliver_due(self) -> None:
         """Deliver every frame that has reached its due time.
@@ -177,6 +225,11 @@ def cluster_config(n: int,
     """
     if n < 2:
         raise ModelError(f"a cluster needs at least 2 nodes, got {n}")
+    if not isinstance(link_latency_cycles, int) or link_latency_cycles <= 0:
+        raise ValueError(f"invalid link_latency_cycles "
+                         f"{link_latency_cycles!r}; expected a positive "
+                         f"integer (the link latency is the cluster's "
+                         f"lookahead lower bound)")
     base = variant_config(variant, engine=engine, bus_level=bus_level,
                           cpu_level=cpu_level)
     nodes = tuple(base.with_updates(name=f"{base.name}-node{index}")
@@ -222,6 +275,21 @@ class VanillaNetCluster(SimComponent):
         self.link = link_class(self.sim, latency_ps=latency_ps)
         for node in self.nodes:
             self.link.attach(node.ethernet)
+            node.microblaze.finish_callback = self._node_finished
+        #: Armed only inside :meth:`run_until_halt`: budget-bounded runs
+        #: (``run_instructions``) must instead park at a chunk boundary,
+        #: where the kernel is quiescent enough to snapshot.
+        self._stop_on_halt = False
+
+    def _node_finished(self) -> None:
+        # The last node to halt stops the kernel: the idle tail to the
+        # next chunk boundary is pure per-edge overhead (every clock has
+        # live subscribers again, so nothing is skippable).  One-shot per
+        # run window -- the flag is cleared when the next run starts, so
+        # explicit post-halt run_cycles calls still advance normally.
+        if self._stop_on_halt \
+                and all(node.microblaze.finished for node in self.nodes):
+            self.sim.stop()
 
     # -- software -------------------------------------------------------
     def load_programs(self, programs: Sequence,
@@ -239,18 +307,31 @@ class VanillaNetCluster(SimComponent):
         return self.nodes[0].run_cycles(cycles)
 
     def run_until_halt(self, max_cycles: int = 1_000_000,
-                       chunk_cycles: int = 2_000) -> bool:
+                       chunk_cycles: int = 2_000,
+                       drain_cycles: int = 256) -> bool:
         """Run until every node reached its halt point.
 
-        Returns True when all nodes halted within ``max_cycles``.
+        The run stops on the exact halt cycle (the finish callback above),
+        then ``drain_cycles`` more cycles let the UART transmit threads
+        move any still-buffered console characters to their sinks.  The
+        epilogue length is fixed, so the total cycle count stays identical
+        across every engine / bus / cpu seam.  Returns True when all nodes
+        halted within ``max_cycles``.
         """
         start = self.cycle_count
-        while self.cycle_count - start < max_cycles:
-            if all(node.microblaze.finished for node in self.nodes):
-                return True
-            remaining = max_cycles - (self.cycle_count - start)
-            self.run_cycles(min(chunk_cycles, remaining))
-        return all(node.microblaze.finished for node in self.nodes)
+        self._stop_on_halt = True
+        try:
+            while self.cycle_count - start < max_cycles:
+                if all(node.microblaze.finished for node in self.nodes):
+                    self._stop_on_halt = False
+                    if drain_cycles:
+                        self.run_cycles(drain_cycles)
+                    return True
+                remaining = max_cycles - (self.cycle_count - start)
+                self.run_cycles(min(chunk_cycles, remaining))
+            return all(node.microblaze.finished for node in self.nodes)
+        finally:
+            self._stop_on_halt = False
 
     def run_instructions(self, budget: int,
                          max_cycles: int = 5_000_000,

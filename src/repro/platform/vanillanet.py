@@ -187,6 +187,10 @@ class VanillaNetPlatform(SimComponent):
         # into code stays SMC-safe at every cpu level.
         self.interceptor.memory = InvalidatingDirectMemory(
             self.memory_map, self.microblaze.core)
+        # The CPU is the only master that can reach TX_GO; naming it lets
+        # a link fabric chain peer delivery horizons off its decoupled
+        # position (no-op on single-node platforms, which never link).
+        self.ethernet.tx_master = self.microblaze
         if config.cpu_level == CPU_QUANTUM:
             extra_processes = []
             if self._combined is not None:

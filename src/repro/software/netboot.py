@@ -163,6 +163,95 @@ bad_msg:
 """
 
 
+def burst_ping_source(payload=DEFAULT_PAYLOAD, burst: int = 2) -> str:
+    """Node-0 image: commit ``burst`` frames back-to-back, then collect.
+
+    Unlike :func:`ping_source`, nothing waits between the ``TX_GO``
+    commits: every frame of the burst is in flight within one
+    link-latency window, so the receiving MAC queues frames behind a
+    masked interrupt and re-enables ``RX_IE`` with the queue still
+    non-empty -- the arrival pattern the RX warp horizon has to order
+    correctly.  The collect loop then drains the ``burst`` echoed
+    replies one interrupt at a time and verifies the checksum.
+    """
+    payload = tuple(word & WORD_MASK for word in payload)
+    if not payload:
+        raise ValueError("ping payload must contain at least one word")
+    if burst < 1:
+        raise ValueError("burst must send at least one frame")
+    byte_length = 4 * len(payload)
+    expected = (burst * sum(payload)) & WORD_MASK
+    payload_words = ", ".join(f"{word:#x}" for word in payload)
+    return _interrupt_prologue() + f"""
+    addik   r27, r0, 0          # accumulated reply checksum
+    addik   r31, r0, {burst}    # frames still to commit
+send_loop:
+    li      r22, payload
+    addik   r23, r0, {len(payload)}
+stage_loop:
+    lwi     r5, r22, 0
+    swi     r5, r26, 0x18       # TX_DATA
+    addik   r22, r22, 4
+    addik   r23, r23, -1
+    bnei    r23, stage_loop
+    addik   r5, r0, {byte_length}
+    swi     r5, r26, 0x1C       # TX_GO: commit, no wait before the next
+    addik   r31, r31, -1
+    bnei    r31, send_loop
+collect_wait:
+    li      r22, rx_count
+    lwi     r23, r22, 0
+    rsub    r24, r25, r23       # frames seen - frames completed
+    beqi    r24, collect_wait
+    # drain one echoed reply and checksum it
+    lwi     r28, r26, 0x24      # RX_LEN (bytes)
+    addik   r29, r28, 3
+    bsrli   r29, r29, 2         # word count
+read_loop:
+    lwi     r5, r26, 0x20       # RX_DATA
+    add     r27, r27, r5
+    addik   r29, r29, -1
+    bnei    r29, read_loop
+    swi     r0, r26, 0x28       # RX_ACK: release the frame
+    addik   r5, r0, 0x4
+    swi     r5, r26, 0x00       # CONTROL: re-enable the RX interrupt
+    addik   r25, r25, 1
+    addik   r24, r25, -{burst}
+    bnei    r24, collect_wait
+    # done: report and print the verdict
+    msrclr  r0, 0x2
+    li      r20, result
+    swi     r27, r20, 0
+    swi     r25, r20, 4
+    li      r24, {expected:#x}
+    rsub    r5, r24, r27
+    bnei    r5, burst_bad
+    li      r5, ok_msg
+    brlid   r15, puts
+    nop
+    bri     _halt
+burst_bad:
+    li      r5, bad_msg
+    brlid   r15, puts
+    nop
+    bri     _halt
+_halt:
+    bri     _halt
+""" + _irq_handler() + clib_source() + f"""
+    .align 4
+rx_count:
+    .word 0
+result:
+    .word 0, 0
+payload:
+    .word {payload_words}
+ok_msg:
+    .asciiz "burst: {burst} replies ok\\n"
+bad_msg:
+    .asciiz "burst: reply checksum bad\\n"
+"""
+
+
 def echo_source(count: int = 2) -> str:
     """Node-1 image: bounce ``count`` frames back, then halt."""
     return _interrupt_prologue() + f"""
@@ -217,7 +306,18 @@ def echo_program(count: int = 2) -> Program:
     return assemble(echo_source(count), origin=mm.BRAM_BASE)
 
 
+def burst_ping_program(payload=DEFAULT_PAYLOAD, burst: int = 2) -> Program:
+    """Assembled burst-ping image (BRAM resident)."""
+    return assemble(burst_ping_source(payload, burst), origin=mm.BRAM_BASE)
+
+
 def ping_echo_programs(payload=DEFAULT_PAYLOAD, count: int = 2) \
         -> tuple[Program, Program]:
     """The (ping, echo) image pair for a two-node cluster."""
     return ping_program(payload, count), echo_program(count)
+
+
+def burst_echo_programs(payload=DEFAULT_PAYLOAD, burst: int = 2) \
+        -> tuple[Program, Program]:
+    """The (burst ping, echo) image pair for a two-node cluster."""
+    return burst_ping_program(payload, burst), echo_program(burst)

@@ -136,6 +136,59 @@ class TestClusterConfig:
         assert cluster.nodes[0].clock is not cluster.nodes[1].clock
 
 
+class TestWarpHorizon:
+    """The conservative-lookahead bound behind the cluster quantum warp."""
+
+    def make_cluster(self, latency=8):
+        cluster = build_cluster(2, link_latency_cycles=latency)
+        period = cluster.nodes[0].clock.period_ps
+        return cluster, cluster.link, period
+
+    def test_idle_peers_bound_horizon_at_plain_lookahead(self):
+        cluster, link, period = self.make_cluster(latency=8)
+        # No frames in flight, no peer parked ahead: a frame committed
+        # from *now* on cannot arrive before now + latency.
+        assert link.earliest_delivery_ps(0) == 8 * period
+        assert link.earliest_delivery_ps(1) == 8 * period
+
+    def test_in_flight_frame_caps_the_horizon(self):
+        cluster, link, period = self.make_cluster(latency=8)
+        link.transmit(cluster.nodes[1].ethernet, b"ping", commit_ps=0)
+        assert link.earliest_delivery_ps(0) == 8 * period
+        # The sender's own horizon is unaffected by its broadcast.
+        assert link.earliest_delivery_ps(1) == 8 * period
+
+    def test_parked_peer_chains_horizon_with_tx_margin(self):
+        cluster, link, period = self.make_cluster(latency=8)
+        peer = cluster.nodes[1]
+        peer.microblaze.decoupled_until_ps = 40 * period
+        # Empty TX staging: the peer needs a TX_DATA store before TX_GO
+        # can transmit anything, widening the floor by five cycles
+        # (fetch + request-to-grant for each store, plus the first
+        # store's ack back to the master).
+        assert link.earliest_delivery_ps(0) == (40 + 5 + 8) * period
+        # Staged words: only the TX_GO store itself stands between the
+        # parked position and a commit.
+        peer.ethernet._tx_staging.append(0x1)
+        assert link.earliest_delivery_ps(0) == (40 + 2 + 8) * period
+        # The parked peer's own horizon is still set by node 0 at *now*.
+        assert link.earliest_delivery_ps(1) == 8 * period
+
+    def test_finished_peer_never_bounds_the_horizon(self):
+        cluster, link, period = self.make_cluster(latency=8)
+        cluster.nodes[1].microblaze.finished = True
+        # ~52 simulated days: effectively unbounded lookahead.
+        assert link.earliest_delivery_ps(0) == (1 << 62) + 8 * period
+
+    def test_commit_floor_ignores_stale_parked_positions(self):
+        cluster, _, period = self.make_cluster(latency=8)
+        mac = cluster.nodes[1].ethernet
+        # A parked-until time in the past means the peer has re-attached;
+        # the floor falls back to the caller's *now*.
+        cluster.nodes[1].microblaze.decoupled_until_ps = 3 * period
+        assert mac.tx_commit_floor_ps(10 * period) == 10 * period
+
+
 class TestPingEcho:
     def test_runs_to_completion(self):
         cluster = build_cluster(2, count=2)

@@ -13,8 +13,11 @@ the claim honest against programs nobody wrote:
   tentpole (frame traffic + RX interrupts through every seam combo);
 * hypothesis-generated straight-line instruction streams on a single
   node;
-* hypothesis-generated frame traffic (payload shapes x ping counts) on
-  a two-node cluster.
+* hypothesis-generated frame traffic (payload shapes x ping counts x
+  link latencies, including back-to-back bursts inside one latency
+  window) on a two-node cluster;
+* deterministic link-latency corner cases: latency=1 (the degenerate
+  warp horizon) and frames delivered exactly on a quantum boundary.
 
 Reproducing a failure: hypothesis prints the falsifying example and a
 ``reproduce_failure`` blob on stderr, and stores it in ``.hypothesis/``
@@ -41,7 +44,7 @@ from repro.isa.assembler import assemble
 from repro.platform import (VanillaNetCluster, VanillaNetPlatform,
                             VariantName, cluster_config, memory_map as mm,
                             variant_config)
-from repro.software import ping_echo_programs
+from repro.software import burst_echo_programs, ping_echo_programs
 from repro.software.clib import clib_source
 from repro.software.programs import BRAM_STACK_TOP
 
@@ -215,27 +218,81 @@ class TestInstructionStreamFuzz:
 
 
 # ---------------------------------------------------------------------- #
-# fuzzed frame traffic, two-node cluster
+# fuzzed frame traffic, two-node cluster, link-latency sweep
 # ---------------------------------------------------------------------- #
 _payload = st.lists(st.integers(min_value=0, max_value=WORD_MASK),
                     min_size=1, max_size=8)
 _ping_count = st.integers(min_value=1, max_value=3)
+#: Link latencies the traffic fuzz sweeps.  latency=1 is the degenerate
+#: horizon (the RX warp bound collapses to a single cycle), 8 the
+#: default, the others probe odd/large strides of the leapfrog chaining.
+_latency = st.sampled_from((1, 2, 8, 13))
+
+
+def run_traffic(programs, latency, chunk_cycles=2_000,
+                max_cycles=150_000) -> dict:
+    """One program pair through all 12 combos; identical observations."""
+    results = {}
+    for engine, bus_level, cpu_level in COMBOS:
+        cluster = VanillaNetCluster(cluster_config(
+            2, engine=engine, bus_level=bus_level, cpu_level=cpu_level,
+            link_latency_cycles=latency))
+        cluster.load_programs(programs)
+        finished = cluster.run_until_halt(max_cycles=max_cycles,
+                                          chunk_cycles=chunk_cycles)
+        assert finished, combo_id((engine, bus_level, cpu_level))
+        results[engine, bus_level, cpu_level] = observe_cluster(cluster)
+    assert_identical(results)
+    return results[COMBOS[0]]
 
 
 class TestTrafficPatternFuzz:
     @FUZZ_SETTINGS
-    @given(payload=_payload, count=_ping_count)
-    def test_traffic_identical_on_every_combo(self, payload, count):
+    @given(payload=_payload, count=_ping_count, latency=_latency)
+    def test_traffic_identical_on_every_combo(self, payload, count,
+                                              latency):
         programs = ping_echo_programs(payload=tuple(payload), count=count)
-        results = {}
-        for engine, bus_level, cpu_level in COMBOS:
-            cluster = VanillaNetCluster(cluster_config(
-                2, engine=engine, bus_level=bus_level, cpu_level=cpu_level))
-            cluster.load_programs(programs)
-            finished = cluster.run_until_halt(max_cycles=150_000)
-            assert finished, combo_id((engine, bus_level, cpu_level))
-            results[engine, bus_level, cpu_level] = observe_cluster(cluster)
-        reference = results[COMBOS[0]]
+        reference = run_traffic(programs, latency)
         assert reference["consoles"][0] == f"ping: {count} replies ok\n"
         assert reference["frames_switched"] == 2 * count
-        assert_identical(results)
+
+    @FUZZ_SETTINGS
+    @given(payload=_payload, burst=st.integers(min_value=2, max_value=4),
+           latency=_latency)
+    def test_back_to_back_frames_identical_on_every_combo(
+            self, payload, burst, latency):
+        """All frames of a burst are in flight within one latency window.
+
+        The burst-ping image commits every frame before waiting, so the
+        echo node takes its RX interrupt with further frames still
+        arriving, and re-enables ``RX_IE`` while the queue is non-empty
+        -- the orderings the warp horizon must not blur.
+        """
+        programs = burst_echo_programs(payload=tuple(payload), burst=burst)
+        reference = run_traffic(programs, latency)
+        assert reference["consoles"][0] == f"burst: {burst} replies ok\n"
+        assert reference["frames_switched"] == 2 * burst
+
+
+class TestLinkLatencyEdgeCases:
+    """Deterministic corner cases riding next to the fuzz."""
+
+    def test_latency_one_identical_on_every_combo(self):
+        """The tightest legal horizon: delivery one cycle after commit."""
+        reference = run_traffic(ping_echo_programs(count=3), latency=1)
+        assert reference["consoles"][0] == "ping: 3 replies ok\n"
+
+    def test_frame_on_quantum_boundary_identical_on_every_combo(self):
+        """Frames landing exactly on a quantum boundary change nothing.
+
+        With ``chunk_cycles=1`` every cycle *is* a quantum boundary, so
+        each frame delivery coincides with one by construction; the
+        observation must match a coarsely-chunked run bit for bit
+        (chunking is measurement cadence, never architecture).
+        """
+        programs = ping_echo_programs(count=2)
+        boundary = run_traffic(programs, latency=8, chunk_cycles=1,
+                               max_cycles=50_000)
+        coarse = run_traffic(programs, latency=8, chunk_cycles=2_000,
+                             max_cycles=50_000)
+        assert boundary == coarse

@@ -149,3 +149,39 @@ class TestSweepCaching:
                                   engines=["generic"], jobs=1)
         assert report.cache_hits == 0
         assert report.cache_misses == 0
+
+
+class TestClusterCaching:
+    def test_second_cluster_comparison_is_pure_cache_hits(
+            self, tmp_path, monkeypatch):
+        from repro.core import Figure2Experiment
+
+        experiment = Figure2Experiment(
+            ExperimentOptions(instructions_per_phase=150, phases=2,
+                              boot_scale=0.4, chunk_cycles=200))
+        kwargs = dict(engines=["generic"], bus_levels=["functional"],
+                      cpu_levels=["cycle", "quantum"], ping_count=2,
+                      cache_dir=tmp_path)
+        first = experiment.run_cluster_comparison(**kwargs)
+        assert [result.finished for result in first] == [True, True]
+
+        def _must_not_simulate(self, *args, **kwargs):
+            raise AssertionError("cache miss: measure_cluster re-ran")
+
+        monkeypatch.setattr(Figure2Experiment, "measure_cluster",
+                            _must_not_simulate)
+        second = experiment.run_cluster_comparison(**kwargs)
+        # ClusterResult is a plain dataclass: equality (including the
+        # recorded wall time) proves the cells were replayed from disk.
+        assert second == first
+
+    def test_cluster_cells_share_no_hashes_with_single_node(self, tmp_path):
+        spec = JobSpec.for_cluster(2, engine="generic",
+                                   bus_level="functional",
+                                   cpu_level="cycle", options=OPTIONS,
+                                   ping_count=2)
+        single = JobSpec.build(arithmetic_program(),
+                               config={"variant": "native_types",
+                                       "engine": "generic"},
+                               window={"phases": 1, "instructions": 200})
+        assert spec.content_hash() != single.content_hash()

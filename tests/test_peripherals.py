@@ -329,9 +329,11 @@ class _StubLink:
 
     def __init__(self):
         self.frames = []
+        self.commit_times = []
 
-    def transmit(self, mac, payload):
+    def transmit(self, mac, payload, commit_ps=None):
         self.frames.append(bytes(payload))
+        self.commit_times.append(commit_ps)
 
 
 class TestEthernetMacRegisters:
@@ -422,9 +424,15 @@ class TestEthernetMacFrames:
         mac.deliver_frame(b"\x01\x02\x03\x04")
         # RX_IE clear: frames queue silently.
         assert mac.interrupt._next == 0
+        # A CPU store to CONTROL changes the level one delta later (so
+        # the interrupt controller's same-edge poll cannot see it on the
+        # fast fabrics); run the kernel's delta queue dry to observe it.
         mac.write_register(mac.REG_CONTROL, mac.CONTROL_RX_IE, 4)
+        assert mac.interrupt._next == 0
+        mac.sim.run(0)
         assert mac.interrupt._next == 1
         mac.write_register(mac.REG_CONTROL, 0, 4)
+        mac.sim.run(0)
         assert mac.interrupt._next == 0
 
     def test_rx_overflow_drops_and_sets_sticky_bit(self):
