@@ -179,18 +179,29 @@ def test_bench_fig2_json_schema_complete():
     for key, entry in entries.items():
         if "error" in entry:
             # A failed or timed-out sweep cell is recorded as an explicit
-            # error entry (never a silently missing key); it carries no
+            # error entry (never a silently missing key): it carries no
             # measurement to validate.
             continue
-        assert set(entry) >= {"variant", "engine", "bus_level", "cpu_level",
-                              "cps_khz", "counters"}, \
-            f"entry {key} incomplete: {sorted(entry)}"
+        if key.startswith("cluster"):
+            # Multi-node cells (merge_cluster_results) share the document
+            # but not the single-node shape: no Figure 2 variant applies,
+            # and the per-node kernel counters are not aggregated.
+            assert set(entry) >= {"nodes", "engine", "bus_level",
+                                  "cpu_level", "cps_khz", "cycles",
+                                  "frames_delivered"}, \
+                f"cluster entry {key} incomplete: {sorted(entry)}"
+            assert entry["nodes"] >= 2, \
+                f"cluster entry {key} has {entry['nodes']} node(s)"
+        else:
+            assert set(entry) >= {"variant", "engine", "bus_level",
+                                  "cpu_level", "cps_khz", "counters"}, \
+                f"entry {key} incomplete: {sorted(entry)}"
+            assert set(entry["counters"]) >= {
+                "process_activations", "delta_cycles", "timed_steps",
+                "channel_updates", "events_notified"}, \
+                f"entry {key} lacks kernel counters"
         assert entry["bus_level"] in bus_levels(), \
             f"entry {key} has unknown bus level {entry['bus_level']!r}"
         assert entry["cpu_level"] in cpu_levels(), \
             f"entry {key} has unknown cpu level {entry['cpu_level']!r}"
         assert entry["cps_khz"] > 0, f"entry {key} has non-positive CPS"
-        assert set(entry["counters"]) >= {
-            "process_activations", "delta_cycles", "timed_steps",
-            "channel_updates", "events_notified"}, \
-            f"entry {key} lacks kernel counters"
